@@ -1,0 +1,102 @@
+// Command betameter measures the bandwidth β of a network machine
+// operationally (by routing all-pairs message batches on the packet
+// simulator) across a size sweep, fits the growth exponents, and compares
+// them with the paper's Table 4 formula.
+//
+// Usage:
+//
+//	betameter [-family DeBruijn] [-dim 2] [-sizes 64,128,256,512]
+//	          [-load 2,4,8] [-trials 2] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"repro"
+	"repro/internal/bandwidth"
+	"repro/internal/topology"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("betameter: ")
+	familyName := flag.String("family", "DeBruijn", "machine family (see -list)")
+	dim := flag.Int("dim", 2, "dimension for dimensioned families")
+	sizes := flag.String("sizes", "64,128,256,512", "comma-separated size sweep")
+	load := flag.String("load", "2,4,8", "comma-separated load factors (messages per processor)")
+	trials := flag.Int("trials", 2, "trials per load factor")
+	seed := flag.Int64("seed", 1, "rng seed")
+	list := flag.Bool("list", false, "list families and exit")
+	describe := flag.Bool("describe", false, "print a structural summary of each instance")
+	steady := flag.Bool("steady", false, "also measure the open-loop (steady-state) rate")
+	flag.Parse()
+
+	if *list {
+		for _, f := range netemu.Families() {
+			fmt.Println(f)
+		}
+		return
+	}
+	fam, err := topology.ParseFamily(*familyName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := netemu.MeasureOptions{LoadFactors: parseInts(*load), Trials: *trials}
+	rng := rand.New(rand.NewSource(*seed))
+
+	var points []bandwidth.SweepPoint
+	header := fmt.Sprintf("%-10s %12s %12s %12s", "n", "beta", "flux-bound", "bis-bound")
+	if *steady {
+		header += fmt.Sprintf(" %12s", "steady-beta")
+	}
+	fmt.Println(header)
+	for _, size := range parseInts(*sizes) {
+		m := topology.Build(fam, *dim, size, rng)
+		if *describe {
+			info, err := topology.Describe(m, rng)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(info)
+		}
+		meas := bandwidth.MeasureSymmetricBeta(m, opts, rng)
+		b := bandwidth.UpperBounds(m, 4, rng)
+		points = append(points, bandwidth.SweepPoint{N: m.N(), Beta: meas.Beta})
+		line := fmt.Sprintf("%-10d %12.2f %12.2f %12.2f", m.N(), meas.Beta, b.Flux, b.Bisection)
+		if *steady {
+			line += fmt.Sprintf(" %12.2f", bandwidth.SteadyStateBeta(m, 300, 8, rng))
+		}
+		fmt.Println(line)
+	}
+	if len(points) >= 3 {
+		a, bexp, _, rmse := bandwidth.FitGrowth(points)
+		fmt.Printf("\nfit: beta ~ n^%.3f * lg^%.2f n   (rmse %.3f in lg-space)\n", a, bexp, rmse)
+	}
+	if analytic, err := netemu.AnalyticBeta(fam, *dim); err == nil {
+		fmt.Printf("paper (Table 4): beta = Θ(%s), λ = Θ(%s)\n", analytic.Beta, analytic.Lambda)
+	}
+}
+
+func parseInts(csv string) []int {
+	var out []int
+	for _, part := range strings.Split(csv, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			log.Fatalf("bad integer %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		log.Fatal("empty integer list")
+	}
+	return out
+}

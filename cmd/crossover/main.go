@@ -1,0 +1,100 @@
+// Command crossover produces the data behind the paper's Figure 1: the
+// load-induced slowdown upper curve |G|/|H| and the bandwidth-induced lower
+// curve β(G)/β(H) as the host size varies, their crossover (the largest
+// efficient host), and optionally a measured-emulation column.
+//
+// Usage:
+//
+//	crossover [-guest DeBruijn] [-gdim 2] [-gsize 1024]
+//	          [-host Mesh] [-hdim 2] [-points 12] [-measure] [-steps 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+
+	"repro"
+	"repro/internal/plot"
+	"repro/internal/topology"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("crossover: ")
+	guestName := flag.String("guest", "DeBruijn", "guest family")
+	gdim := flag.Int("gdim", 2, "guest dimension")
+	gsize := flag.Int("gsize", 1024, "guest size n")
+	hostName := flag.String("host", "Mesh", "host family")
+	hdim := flag.Int("hdim", 2, "host dimension")
+	points := flag.Int("points", 12, "host sizes sampled geometrically in [4, n]")
+	measure := flag.Bool("measure", false, "also run direct emulations per host size")
+	steps := flag.Int("steps", 3, "guest steps for -measure")
+	doPlot := flag.Bool("plot", false, "render an ASCII log-log chart of the two curves")
+	seed := flag.Int64("seed", 1, "rng seed")
+	flag.Parse()
+
+	gf := family(*guestName)
+	hf := family(*hostName)
+	bound, err := netemu.SlowdownBound(
+		netemu.Spec{Family: gf, Dim: *gdim},
+		netemu.Spec{Family: hf, Dim: *hdim},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := float64(*gsize)
+	var sizes []float64
+	for i := 0; i < *points; i++ {
+		frac := float64(i) / float64(*points-1)
+		sizes = append(sizes, math.Round(4*math.Pow(n/4, frac)))
+	}
+	fmt.Printf("Figure 1 data: %v guest (n=%d) on %v hosts\n\n", bound.Guest, *gsize, bound.Host)
+	header := fmt.Sprintf("%-8s %14s %14s", "|H|", "load n/m", "comm β_G/β_H")
+	if *measure {
+		header += fmt.Sprintf(" %14s", "measured S")
+	}
+	fmt.Println(header)
+
+	rng := rand.New(rand.NewSource(*seed))
+	guest := topology.Build(gf, *gdim, *gsize, rng)
+	for _, pts := range bound.Curve(n, sizes) {
+		line := fmt.Sprintf("%-8.0f %14.2f %14.2f", pts.M, pts.Load, pts.Comm)
+		if *measure {
+			host := topology.Build(hf, *hdim, int(pts.M), rng)
+			res := netemu.Emulate(guest, host, *steps, *seed)
+			line += fmt.Sprintf(" %14.2f", res.Slowdown)
+		}
+		fmt.Println(line)
+	}
+	m, slow := bound.CrossoverPoint(n)
+	fmt.Printf("\ncrossover: |H| ≈ %.0f with slowdown ≈ %.1f\n", m, slow)
+	fmt.Printf("max efficient host (symbolic): %s\n", bound.MaxHostString())
+
+	if *doPlot {
+		curve := bound.Curve(n, sizes)
+		load := plot.Series{Name: "load n/m", Marker: '*'}
+		comm := plot.Series{Name: "comm β_G/β_H", Marker: 'o'}
+		for _, p := range curve {
+			load.X = append(load.X, p.M)
+			load.Y = append(load.Y, p.Load)
+			comm.X = append(comm.X, p.M)
+			comm.Y = append(comm.Y, p.Comm)
+		}
+		fmt.Println()
+		if err := plot.LogLog(os.Stdout, "Figure 1 (log-log): slowdown bounds vs |H|", 64, 16, load, comm); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func family(name string) netemu.Family {
+	f, err := topology.ParseFamily(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return f
+}

@@ -1,0 +1,76 @@
+// Command emusim runs a concrete emulation of a guest machine on a host
+// machine and reports the measured slowdown against the Efficient Emulation
+// Theorem's lower bound.
+//
+// Usage:
+//
+//	emusim [-guest DeBruijn] [-gdim 2] [-gsize 256]
+//	       [-host Mesh] [-hdim 2] [-hsize 64]
+//	       [-steps 4] [-duplicity 1] [-circuit] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+	"repro/internal/topology"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("emusim: ")
+	guestName := flag.String("guest", "DeBruijn", "guest family")
+	gdim := flag.Int("gdim", 2, "guest dimension (dimensioned families)")
+	gsize := flag.Int("gsize", 256, "approximate guest size")
+	hostName := flag.String("host", "Mesh", "host family")
+	hdim := flag.Int("hdim", 2, "host dimension (dimensioned families)")
+	hsize := flag.Int("hsize", 64, "approximate host size")
+	steps := flag.Int("steps", 4, "guest steps to emulate")
+	duplicity := flag.Int("duplicity", 1, "redundancy for -circuit mode")
+	useCircuit := flag.Bool("circuit", false, "use the explicit circuit emulator")
+	pipelined := flag.Bool("pipelined", false, "overlap compute with communication")
+	useMapper := flag.Bool("map", false, "use the recursive-bisection mapper for the contraction")
+	seed := flag.Int64("seed", 1, "rng seed")
+	flag.Parse()
+
+	guest := build(*guestName, *gdim, *gsize, *seed)
+	host := build(*hostName, *hdim, *hsize, *seed+1)
+	fmt.Printf("guest: %v\nhost:  %v\n", guest, host)
+
+	var res netemu.EmulationResult
+	switch {
+	case *useCircuit:
+		res = netemu.EmulateCircuit(guest, host, *steps, *duplicity, *seed)
+	case *useMapper:
+		assign := netemu.MappedContraction(guest, host, *seed)
+		res = netemu.EmulateWithAssignment(guest, host, *steps, assign, *seed)
+	case *pipelined:
+		res = netemu.EmulatePipelined(guest, host, *steps, *seed)
+	default:
+		res = netemu.Emulate(guest, host, *steps, *seed)
+	}
+	fmt.Printf("\nguest steps:   %d\n", res.GuestSteps)
+	fmt.Printf("host ticks:    %d (compute %d + route %d)\n", res.HostTicks, res.ComputeTicks, res.RouteTicks)
+	fmt.Printf("slowdown:      %.2f\n", res.Slowdown)
+	fmt.Printf("inefficiency:  %.2f\n", res.Inefficiency)
+	fmt.Printf("load bound:    %.2f (|G|/|H|)\n", res.LoadBound)
+
+	if check, err := netemu.VerifyBound(guest, host, *steps, *seed); err == nil {
+		fmt.Printf("\ntheorem bound: %.2f = max(|G|/|H|, β(G)/β(H))\n", check.Predicted)
+		fmt.Printf("measured/bound ratio: %.2f\n", check.Ratio)
+		fmt.Printf("max efficient host:   %s\n", check.Bound.MaxHostString())
+	} else {
+		fmt.Printf("\n(theorem bound unavailable: %v)\n", err)
+	}
+}
+
+func build(name string, dim, size int, seed int64) *netemu.Machine {
+	f, err := topology.ParseFamily(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return topology.Build(f, dim, size, rand.New(rand.NewSource(seed)))
+}

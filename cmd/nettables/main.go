@@ -1,0 +1,61 @@
+// Command nettables prints the reproduced Tables 1-4 of the paper: the
+// analytic bandwidths (Table 4) and the maximum host sizes for efficient
+// emulation they imply (Tables 1-3).
+//
+// Usage:
+//
+//	nettables [-table 1|2|3|4|all] [-j 2] [-k 2]
+//
+// j is the guest dimension for the dimensioned guest families, k the host
+// dimension for the dimensioned host families.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nettables: ")
+	table := flag.String("table", "all", "which table to print: 1, 2, 3, 4, or all")
+	j := flag.Int("j", 2, "guest dimension for dimensioned guests")
+	k := flag.Int("k", 2, "host dimension for dimensioned hosts")
+	flag.Parse()
+
+	w := os.Stdout
+	emit := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	switch *table {
+	case "1":
+		emit(netemu.WriteTable(w, title(1, *j, *k), netemu.Table1(*j, *k)))
+	case "2":
+		emit(netemu.WriteTable(w, title(2, *j, *k), netemu.Table2(*j, *k)))
+	case "3":
+		emit(netemu.WriteTable(w, fmt.Sprintf("Table 3: hypercubic guests (hosts at k=%d)", *k), netemu.Table3(*k)))
+	case "4":
+		emit(netemu.WriteTable4(w, *k))
+	case "all":
+		emit(netemu.WriteTable4(w, *k))
+		fmt.Fprintln(w)
+		emit(netemu.WriteTable(w, title(1, *j, *k), netemu.Table1(*j, *k)))
+		fmt.Fprintln(w)
+		emit(netemu.WriteTable(w, title(2, *j, *k), netemu.Table2(*j, *k)))
+		fmt.Fprintln(w)
+		emit(netemu.WriteTable(w, fmt.Sprintf("Table 3: hypercubic guests (hosts at k=%d)", *k), netemu.Table3(*k)))
+	default:
+		log.Fatalf("unknown table %q (want 1, 2, 3, 4, or all)", *table)
+	}
+}
+
+func title(t, j, k int) string {
+	kind := map[int]string{1: "mesh/torus/X-grid guests", 2: "mesh-of-trees/multigrid/pyramid guests"}[t]
+	return fmt.Sprintf("Table %d: %s at j=%d (hosts at k=%d)", t, kind, j, k)
+}

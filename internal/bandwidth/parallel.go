@@ -1,0 +1,38 @@
+package bandwidth
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/topology"
+)
+
+// SweepBetaParallel measures β across machine sizes concurrently, one
+// goroutine per size with its own deterministically derived rng, so the
+// result is identical to a sequential sweep with the same baseSeed
+// regardless of scheduling. workers caps the concurrency (<= 1 means one
+// goroutine per size).
+func SweepBetaParallel(f topology.Family, dim int, sizes []int, opts MeasureOptions, baseSeed int64, workers int) []SweepPoint {
+	out := make([]SweepPoint, len(sizes))
+	if workers < 1 {
+		workers = len(sizes)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, size := range sizes {
+		wg.Add(1)
+		go func(i, size int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			// Seed derivation: mixing the index keeps streams independent
+			// and the whole sweep reproducible.
+			rng := rand.New(rand.NewSource(baseSeed + int64(i)*1_000_003))
+			m := topology.Build(f, dim, size, rng)
+			meas := MeasureSymmetricBeta(m, opts, rng)
+			out[i] = SweepPoint{N: m.N(), Beta: meas.Beta}
+		}(i, size)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,28 @@
+package bandwidth
+
+import (
+	"math/rand"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// SteadyStateBeta estimates β by open-loop saturation search: messages are
+// injected continuously at a trial rate and the largest rate the machine
+// sustains with bounded queues is found by bisection. This is the closest
+// implementation of the paper's "expected average message delivery rate"
+// — no batch tails at all — at the cost of longer runs than MeasureBeta.
+//
+// ticks is the run length per trial rate (300–500 works), iters the
+// bisection depth (8–12).
+func SteadyStateBeta(m *topology.Machine, ticks, iters int, rng *rand.Rand) float64 {
+	dist := traffic.NewSymmetric(m.N())
+	eng := routing.NewEngine(m, routing.Greedy)
+	// The flux bound caps the search window.
+	upper := UpperBounds(m, 2, rng).Flux * 1.5
+	if upper < 2 {
+		upper = 2
+	}
+	return eng.SaturationRate(dist, upper, ticks, iters, rng)
+}

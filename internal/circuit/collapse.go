@@ -1,0 +1,104 @@
+package circuit
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/multigraph"
+)
+
+// This file implements the Lemma 11 mechanics: emulating a circuit Φ on a
+// host of m processors collapses Φ's nodes into m super-vertices with load
+// O(|Φ|/m); arcs between different super-vertices become the communication
+// multigraph M the host must route. Lemma 11 shows the witness bandwidth
+// survives the collapse: enough γ-paths run between different
+// super-vertices.
+
+// Assignment maps circuit-node indices (CommunicationGraph indexing) to
+// host processors.
+type Assignment []int
+
+// MaxLoad returns the largest number of circuit nodes assigned to one
+// processor.
+func (a Assignment) MaxLoad(hostSize int) int {
+	counts := make([]int, hostSize)
+	for _, p := range a {
+		counts[p]++
+	}
+	worst := 0
+	for _, c := range counts {
+		if c > worst {
+			worst = c
+		}
+	}
+	return worst
+}
+
+// BalancedRandomAssignment spreads `total` circuit nodes over hostSize
+// processors in random balanced fashion (loads differ by at most one).
+func BalancedRandomAssignment(total, hostSize int, rng *rand.Rand) Assignment {
+	if hostSize < 1 || total < 1 {
+		panic(fmt.Sprintf("circuit: bad assignment dims %d/%d", total, hostSize))
+	}
+	a := make(Assignment, total)
+	perm := rng.Perm(total)
+	for i, node := range perm {
+		a[node] = i % hostSize
+	}
+	return a
+}
+
+// VertexBlockAssignment assigns all copies of guest vertex u (at every
+// level) to processor u*hostSize/n — the natural contraction emulation
+// where each host processor simulates a contiguous block of guest vertices.
+func VertexBlockAssignment(c *Circuit, hostSize int) Assignment {
+	if hostSize < 1 {
+		panic(fmt.Sprintf("circuit: host size %d < 1", hostSize))
+	}
+	_, idx := c.CommunicationGraph()
+	a := make(Assignment, len(idx))
+	n := c.Guest.N()
+	for node, i := range idx {
+		a[i] = node.Vertex * hostSize / n
+	}
+	return a
+}
+
+// Collapse builds the communication multigraph M on hostSize processors
+// induced by emulating the circuit under the assignment: every arc whose
+// endpoints land on different processors becomes an edge of M (self-loops
+// vanish — intra-processor data movement is free).
+func Collapse(c *Circuit, a Assignment, hostSize int) *multigraph.Multigraph {
+	_, idx := c.CommunicationGraph()
+	if len(a) != len(idx) {
+		panic(fmt.Sprintf("circuit: assignment covers %d of %d nodes", len(a), len(idx)))
+	}
+	m := multigraph.New(hostSize)
+	for _, arcs := range c.arcs {
+		for _, arc := range arcs {
+			pu, pv := a[idx[arc.From]], a[idx[arc.To]]
+			if pu != pv {
+				m.AddEdge(pu, pv, 1)
+			}
+		}
+	}
+	return m
+}
+
+// CollapseTraffic maps a traffic graph on circuit nodes (e.g. the γ
+// witness) through the assignment, keeping only pairs that land on
+// different processors — Lemma 11's ξ. The returned graph lives on
+// hostSize vertices.
+func CollapseTraffic(t *multigraph.Multigraph, a Assignment, hostSize int) *multigraph.Multigraph {
+	if t.N() != len(a) {
+		panic(fmt.Sprintf("circuit: traffic on %d nodes, assignment for %d", t.N(), len(a)))
+	}
+	out := multigraph.New(hostSize)
+	for _, e := range t.Edges() {
+		pu, pv := a[e.U], a[e.V]
+		if pu != pv {
+			out.AddEdge(pu, pv, e.Mult)
+		}
+	}
+	return out
+}

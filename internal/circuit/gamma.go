@@ -1,0 +1,158 @@
+package circuit
+
+import (
+	"fmt"
+
+	"repro/internal/multigraph"
+)
+
+// This file implements the Lemma 9 witness construction: inside any
+// efficient circuit Φ emulating t ≈ (1+Θ(1))·λ(G) steps of G there is a
+// quasi-symmetric traffic graph γ ∈ K_{Θ(nt),1} whose embedding into Φ has
+// congestion O(max(n t², t C(G, K_n))) — which forces
+// β(Φ, γ) ≥ Ω(t β(G)). The construction drops bundles of γ-edges from
+// S-nodes (representatives in the high levels) down cone paths (lifted
+// shortest paths of G) onto Q-sets (identity chains below the cone tip).
+
+// Gamma is the witness traffic pattern and the cost of its canonical
+// embedding into the circuit.
+type Gamma struct {
+	// Traffic is the witness graph γ on the circuit's node indices (the
+	// same indexing CommunicationGraph returns).
+	Traffic *multigraph.Multigraph
+	// Index maps circuit nodes to Traffic vertices.
+	Index map[Node]int
+	// SNodes is the number of bundle sources, QEdges the number of γ-edges.
+	SNodes int
+	// Congestion is the max load the canonical embedding puts on a circuit
+	// arc, and MaxPairMult the largest γ multiplicity between any pair
+	// (must be 1 for K_{·,1} membership).
+	Congestion  int64
+	MaxPairMult int64
+}
+
+// EdgeCount returns the number of γ-edges.
+func (g *Gamma) EdgeCount() int64 { return g.Traffic.E() }
+
+// Beta returns the witness bandwidth β(Φ, γ) = E(γ)/Congestion.
+func (g *Gamma) Beta() float64 {
+	if g.Congestion == 0 {
+		return 0
+	}
+	return float64(g.EdgeCount()) / float64(g.Congestion)
+}
+
+// inputs maps every circuit node to its input representative per guest
+// vertex (identity input under the node's own vertex).
+func (c *Circuit) inputs() map[Node]map[int]Node {
+	in := make(map[Node]map[int]Node, c.NodeCount())
+	for i := 0; i < c.Steps; i++ {
+		for _, a := range c.arcs[i] {
+			m := in[a.To]
+			if m == nil {
+				m = make(map[int]Node)
+				in[a.To] = m
+			}
+			m[a.From.Vertex] = a.From
+		}
+	}
+	return in
+}
+
+// BuildGamma runs the witness construction with cones of the given depth
+// (the paper uses coneDepth ≈ λ(G); the circuit must have
+// Steps > coneDepth). The circuit must be valid.
+//
+// For every S-node s = a representative of vertex u at a level i > coneDepth,
+// and every vertex v within G-distance ℓ <= coneDepth of u, the lifted cone
+// path s = (u,i) → (w₁,i−1) → … → (v,i−ℓ) is extended down the identity
+// chain to level 0; one γ-edge joins s to every node on the chain (the
+// Q-set). Bundles from different S-nodes overlap only on circuit arcs,
+// never on γ pairs, so γ stays in K_{·,1}.
+func BuildGamma(c *Circuit, coneDepth int) (*Gamma, error) {
+	if coneDepth < 1 {
+		return nil, fmt.Errorf("circuit: cone depth %d < 1", coneDepth)
+	}
+	if c.Steps <= coneDepth {
+		return nil, fmt.Errorf("circuit: %d steps too shallow for cone depth %d", c.Steps, coneDepth)
+	}
+	in := c.inputs()
+	_, idx := c.CommunicationGraph()
+	gamma := multigraph.New(len(idx))
+	loads := make(map[[2]int]int64) // circuit arc (by node indices) -> load
+	addLoad := func(a, b Node, units int64) {
+		k := [2]int{idx[a], idx[b]}
+		if k[0] > k[1] {
+			k[0], k[1] = k[1], k[0]
+		}
+		loads[k] += units
+	}
+	g := &Gamma{Index: idx}
+
+	n := c.Guest.N()
+	for i := coneDepth + 1; i <= c.Steps; i++ {
+		for u := 0; u < n; u++ {
+			// S-node: the first representative of (u, i).
+			s := Node{Vertex: u, Level: i, Copy: 0}
+			if _, ok := idx[s]; !ok {
+				return nil, fmt.Errorf("circuit: class (%d,%d) empty", u, i)
+			}
+			g.SNodes++
+			dist := c.Guest.BFS(u)
+			for v := 0; v < n; v++ {
+				l := dist[v]
+				if v == u || l < 0 || l > coneDepth {
+					continue
+				}
+				// Lift a shortest path u→v through the circuit's input arcs
+				// to reach the cone tip at level i-l.
+				pathG := c.Guest.ShortestPath(u, v)
+				cone := []Node{s}
+				cur := s
+				for step := 1; step < len(pathG); step++ {
+					next, exists := in[cur][pathG[step]]
+					if !exists {
+						return nil, fmt.Errorf("circuit: node %+v lacks cone input along %v", cur, pathG)
+					}
+					cone = append(cone, next)
+					cur = next
+				}
+				// Q-set: the cone tip and everything down its identity chain.
+				chain := []Node{cur}
+				for {
+					next, exists := in[cur][cur.Vertex]
+					if !exists {
+						break // level 0 reached
+					}
+					chain = append(chain, next)
+					cur = next
+				}
+				bundle := int64(len(chain))
+				// The whole bundle rides every cone arc...
+				for k := 0; k+1 < len(cone); k++ {
+					addLoad(cone[k], cone[k+1], bundle)
+				}
+				// ...then γ-edges are picked off one by one down the chain:
+				// the arc below chain[k] carries the edges still undelivered.
+				for k := 0; k < len(chain); k++ {
+					gamma.AddEdge(idx[s], idx[chain[k]], 1)
+					if k+1 < len(chain) {
+						addLoad(chain[k], chain[k+1], bundle-int64(k)-1)
+					}
+				}
+			}
+		}
+	}
+	for _, load := range loads {
+		if load > g.Congestion {
+			g.Congestion = load
+		}
+	}
+	for _, e := range gamma.Edges() {
+		if e.Mult > g.MaxPairMult {
+			g.MaxPairMult = e.Mult
+		}
+	}
+	g.Traffic = gamma
+	return g, nil
+}

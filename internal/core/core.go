@@ -1,0 +1,187 @@
+// Package core implements the paper's primary contribution: the Efficient
+// Emulation Theorem and its consequences.
+//
+// Theorem 1 (Efficient Emulation Theorem): any efficient emulation of a
+// fixed-degree guest G on a bottleneck-free host H, running for at least
+// T ≥ (1+Θ(1))·λ(G) guest steps, has slowdown
+//
+//	S ≥ Ω( β(G) / β(H) ).
+//
+// Combined with the load-induced bound S ≥ |G|/|H|, the best possible host
+// size for an efficient emulation is found where the two bounds cross:
+// solving β_H(m)/m = β_G(n)/n for m. Package core turns the Table 4
+// bandwidth formulas into those maximum host sizes (Tables 1–3), evaluates
+// the two bounds numerically (Figure 1's curves), and exposes the slowdown
+// lower bound for concrete machine pairs.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bandwidth"
+	"repro/internal/growth"
+	"repro/internal/topology"
+)
+
+// Spec identifies a machine family instance shape: the family plus its
+// dimension for dimensioned families.
+type Spec struct {
+	Family topology.Family
+	Dim    int
+}
+
+// String renders "Mesh^2", "DeBruijn", etc.
+func (s Spec) String() string {
+	if s.Family.Dimensioned() {
+		return fmt.Sprintf("%v^%d", s.Family, s.Dim)
+	}
+	return s.Family.String()
+}
+
+// Analytic returns the Table 4 entry for the spec.
+func (s Spec) Analytic() (bandwidth.Analytic, error) {
+	return bandwidth.Table4(s.Family, s.Dim)
+}
+
+// Bound is the Efficient Emulation Theorem instantiated for a guest/host
+// family pair.
+type Bound struct {
+	Guest, Host Spec
+	// GuestBeta and HostBeta are β as functions of the respective sizes.
+	GuestBeta, HostBeta growth.Func
+	// MinGuestTime is the λ(G) threshold: the theorem applies to
+	// computations of at least (1+Θ(1))·λ(G) steps.
+	MinGuestTime growth.Func
+	// MaxHost is the solution of β_H(m)/m = β_G(n)/n — the largest host
+	// (as a function of guest size n) that can emulate G efficiently.
+	MaxHost growth.Solution
+}
+
+// NewBound computes the theorem's content for a guest/host pair.
+func NewBound(guest, host Spec) (Bound, error) {
+	ga, err := guest.Analytic()
+	if err != nil {
+		return Bound{}, fmt.Errorf("core: guest %v: %w", guest, err)
+	}
+	ha, err := host.Analytic()
+	if err != nil {
+		return Bound{}, fmt.Errorf("core: host %v: %w", host, err)
+	}
+	return Bound{
+		Guest:        guest,
+		Host:         host,
+		GuestBeta:    ga.Beta,
+		HostBeta:     ha.Beta,
+		MinGuestTime: ga.Lambda,
+		MaxHost:      growth.Solve(ha.PerNodeBeta(), ga.PerNodeBeta()),
+	}, nil
+}
+
+// CommunicationSlowdown evaluates the bandwidth-induced lower bound
+// β_G(n)/β_H(m) at concrete sizes. Θ-constants are taken as 1, so compare
+// shapes, not absolute values.
+func (b Bound) CommunicationSlowdown(n, m float64) float64 {
+	return b.GuestBeta.Eval(n) / b.HostBeta.Eval(m)
+}
+
+// LoadSlowdown evaluates the size-induced lower bound n/m.
+func (b Bound) LoadSlowdown(n, m float64) float64 { return n / m }
+
+// Slowdown evaluates the combined lower bound
+// max(load, communication) at concrete sizes.
+func (b Bound) Slowdown(n, m float64) float64 {
+	l, c := b.LoadSlowdown(n, m), b.CommunicationSlowdown(n, m)
+	if l > c {
+		return l
+	}
+	return c
+}
+
+// MaxHostString renders the maximum host size in |G| notation, e.g.
+// "O(|G|^{1/2} lg |G|)", "O(|G|)" for same-size hosts, or a note for the
+// vacuous (exponential) case.
+func (b Bound) MaxHostString() string {
+	switch b.MaxHost.Kind {
+	case growth.Polynomial:
+		s := "O(" + b.MaxHost.M.InVariable("|G|") + ")"
+		if b.MaxHost.UpToLogLog {
+			s += " (up to lglg factors)"
+		}
+		return s
+	case growth.Exponential:
+		return "no bandwidth constraint (any |H| <= |G|)"
+	case growth.Unbounded:
+		return "no constraint"
+	default:
+		return "infeasible"
+	}
+}
+
+// NumericMaxHost evaluates the maximum host size at a concrete guest size,
+// or 0 when the bandwidth constraint is vacuous at or beyond |G| (the host
+// may be as large as the guest).
+func (b Bound) NumericMaxHost(n float64) float64 {
+	switch b.MaxHost.Kind {
+	case growth.Polynomial:
+		m := b.MaxHost.M.Eval(n)
+		if m > n {
+			return n
+		}
+		return m
+	case growth.Exponential, growth.Unbounded:
+		return n
+	default:
+		return 0
+	}
+}
+
+// CrossoverPoint finds, for a concrete guest size n, the host size m at
+// which the load bound n/m equals the communication bound β_G(n)/β_H(m) —
+// Figure 1's intersection — by bisection over m ∈ [1, n]. The second return
+// is the slowdown at the crossover.
+func (b Bound) CrossoverPoint(n float64) (m, slowdown float64) {
+	// Both bounds fall as m grows, but load(m) = n/m falls like 1/m while
+	// comm(m) = β_G(n)/β_H(m) falls only as fast as the host gains
+	// bandwidth (sub-linearly), so diff = load - comm is decreasing and
+	// crosses zero once: below the crossover load dominates, above it
+	// communication does, and adding processors no longer helps.
+	lo, hi := 1.0, n
+	diff := func(m float64) float64 { return b.LoadSlowdown(n, m) - b.CommunicationSlowdown(n, m) }
+	if diff(hi) > 0 {
+		return hi, b.Slowdown(n, hi)
+	}
+	if diff(lo) < 0 {
+		return lo, b.Slowdown(n, lo)
+	}
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if diff(mid) >= 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	m = (lo + hi) / 2
+	return m, b.Slowdown(n, m)
+}
+
+// CurvePoint is one sample of Figure 1's two curves.
+type CurvePoint struct {
+	M    float64 // host size
+	Load float64 // n/m
+	Comm float64 // β_G(n)/β_H(m)
+}
+
+// Curve samples the two slowdown bounds at the given host sizes for a
+// fixed guest size n — the data behind Figure 1.
+func (b Bound) Curve(n float64, hostSizes []float64) []CurvePoint {
+	out := make([]CurvePoint, 0, len(hostSizes))
+	for _, m := range hostSizes {
+		out = append(out, CurvePoint{
+			M:    m,
+			Load: b.LoadSlowdown(n, m),
+			Comm: b.CommunicationSlowdown(n, m),
+		})
+	}
+	return out
+}

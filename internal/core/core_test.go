@@ -1,0 +1,405 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/emulation"
+	"repro/internal/growth"
+	"repro/internal/topology"
+)
+
+func emulationDirect(guest, host *topology.Machine, rng *rand.Rand) float64 {
+	return emulation.Direct(guest, host, 3, nil, rng).Slowdown
+}
+
+func mustBound(t *testing.T, guest, host Spec) Bound {
+	t.Helper()
+	b, err := NewBound(guest, host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestSpecString(t *testing.T) {
+	if s := (Spec{Family: topology.MeshFamily, Dim: 3}).String(); s != "Mesh^3" {
+		t.Fatalf("String = %q", s)
+	}
+	if s := (Spec{Family: topology.DeBruijnFamily}).String(); s != "DeBruijn" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+// The paper's §1 running example: de Bruijn guest on a 2-d mesh host —
+// S_c = Ω(n/(√m lg n)) and max host m = O(lg² n).
+func TestDeBruijnOnMeshHeadline(t *testing.T) {
+	b := mustBound(t,
+		Spec{Family: topology.DeBruijnFamily},
+		Spec{Family: topology.MeshFamily, Dim: 2})
+	if b.MaxHost.Kind != growth.Polynomial {
+		t.Fatalf("max host kind = %v", b.MaxHost.Kind)
+	}
+	if b.MaxHost.M.Pow.Sign() != 0 || b.MaxHost.M.LogPow != growth.Int(2) {
+		t.Fatalf("max host = %v, want lg^2 n", b.MaxHost.M)
+	}
+	if got := b.MaxHostString(); !strings.Contains(got, "lg^{2} |G|") {
+		t.Fatalf("MaxHostString = %q", got)
+	}
+	// Numeric: S_c(n, m) = (n/lg n) / sqrt(m).
+	n, m := 1024.0, 64.0
+	want := (1024.0 / 10.0) / 8.0
+	if got := b.CommunicationSlowdown(n, m); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("comm slowdown = %v, want %v", got, want)
+	}
+}
+
+func TestTable1LinearArrayRow(t *testing.T) {
+	rows := Table1(2, 3)
+	var found *Row
+	for i := range rows {
+		r := &rows[i]
+		if r.Bound.Guest.Family == topology.MeshFamily && r.Bound.Host.Family == topology.LinearArrayFamily {
+			found = r
+			break
+		}
+	}
+	if found == nil {
+		t.Fatal("mesh-on-array row missing")
+	}
+	// Mesh^2 on a linear array: |H| <= O(|G|^{1/2}).
+	if !strings.Contains(found.MaxHost, "|G|^{1/2}") {
+		t.Fatalf("MaxHost = %q, want |G|^{1/2}", found.MaxHost)
+	}
+	// Theorem 3's minimum time for mesh guests is Ω(|G|^{1/j}).
+	if !strings.Contains(found.MinTime, "|G|^{1/2}") {
+		t.Fatalf("MinTime = %q", found.MinTime)
+	}
+}
+
+func TestTable1XTreeRow(t *testing.T) {
+	rows := Table1(2, 3)
+	for _, r := range rows {
+		if r.Bound.Guest.Family == topology.MeshFamily && r.Bound.Host.Family == topology.XTreeFamily {
+			// X-Tree host: |H| <= O(|G|^{1/2} lg |G|).
+			if !strings.Contains(r.MaxHost, "|G|^{1/2} lg |G|") {
+				t.Fatalf("MaxHost = %q", r.MaxHost)
+			}
+			return
+		}
+	}
+	t.Fatal("row missing")
+}
+
+func TestTable1MeshHostRow(t *testing.T) {
+	rows := Table1(2, 3)
+	for _, r := range rows {
+		if r.Bound.Guest.Family == topology.MeshFamily && r.Bound.Host.Family == topology.MeshFamily {
+			// Mesh^3 host for Mesh^2 guest: |H| <= O(|G|^{3/2}) — i.e. any
+			// same-size host passes the bandwidth test.
+			if !strings.Contains(r.MaxHost, "|G|^{3/2}") {
+				t.Fatalf("MaxHost = %q", r.MaxHost)
+			}
+			return
+		}
+	}
+	t.Fatal("row missing")
+}
+
+func TestTable2SameShapesAsMeshGuests(t *testing.T) {
+	// MoT/multigrid/pyramid guests have mesh-grade bandwidth, so their max
+	// host sizes match Table 1's; only the minimum time differs (Θ(lg n)
+	// instead of Θ(n^{1/j})).
+	t1 := Table1(2, 3)
+	t2 := Table2(2, 3)
+	if len(t2) != len(t1) {
+		t.Fatalf("row counts differ: %d vs %d", len(t2), len(t1))
+	}
+	for i := range t2 {
+		if t2[i].MaxHost != t1[i].MaxHost {
+			t.Fatalf("row %d: %q vs %q", i, t2[i].MaxHost, t1[i].MaxHost)
+		}
+		if !strings.Contains(t2[i].MinTime, "lg |G|") {
+			t.Fatalf("row %d MinTime = %q, want Ω(lg |G|)", i, t2[i].MinTime)
+		}
+	}
+}
+
+func TestTable3DeBruijnRows(t *testing.T) {
+	rows := Table3(2)
+	// Per-node host bandwidths 1/m, m^{-1/2}, lg m/m against the guest's
+	// 1/lg n give lg n, lg² n, and ~lg n respectively.
+	checks := map[topology.Family]string{
+		topology.LinearArrayFamily: "O(lg |G|)",
+		topology.MeshFamily:        "lg^{2} |G|",
+		topology.XTreeFamily:       "lg |G|",
+	}
+	seen := 0
+	for _, r := range rows {
+		if r.Bound.Guest.Family != topology.DeBruijnFamily {
+			continue
+		}
+		if want, ok := checks[r.Bound.Host.Family]; ok {
+			if !strings.Contains(r.MaxHost, want) {
+				t.Errorf("de Bruijn on %v: MaxHost = %q, want %q", r.Bound.Host, r.MaxHost, want)
+			}
+			seen++
+		}
+	}
+	if seen != len(checks) {
+		t.Fatalf("only %d of %d host rows found", seen, len(checks))
+	}
+}
+
+func TestTable3AllGuestsPresent(t *testing.T) {
+	rows := Table3(2)
+	guests := make(map[topology.Family]bool)
+	for _, r := range rows {
+		guests[r.Bound.Guest.Family] = true
+	}
+	for _, f := range []topology.Family{
+		topology.ButterflyFamily, topology.DeBruijnFamily,
+		topology.CubeConnectedCyclesFamily, topology.ShuffleExchangeFamily,
+		topology.MultibutterflyFamily, topology.ExpanderFamily,
+		topology.WeakHypercubeFamily,
+	} {
+		if !guests[f] {
+			t.Errorf("guest %v missing from Table 3", f)
+		}
+	}
+}
+
+func TestWriteTables(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteTable(&sb, "Table 1", Table1(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Table 1", "Mesh^2", "LinearArray", "Max host size"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q", want)
+		}
+	}
+	sb.Reset()
+	if err := WriteTable4(&sb, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Θ(n lg^{-1} n)") {
+		t.Errorf("Table 4 output missing butterfly bandwidth:\n%s", sb.String())
+	}
+}
+
+func TestCrossoverDeBruijnOnMesh(t *testing.T) {
+	b := mustBound(t,
+		Spec{Family: topology.DeBruijnFamily},
+		Spec{Family: topology.MeshFamily, Dim: 2})
+	n := 4096.0
+	m, slow := b.CrossoverPoint(n)
+	// Crossover where n/m = (n/lg n)/√m: m = lg² n = 144.
+	if math.Abs(m-144) > 2 {
+		t.Fatalf("crossover m = %.1f, want ~144", m)
+	}
+	if math.Abs(slow-n/m) > 1 {
+		t.Fatalf("crossover slowdown = %.1f, want ~n/m = %.1f", slow, n/m)
+	}
+}
+
+func TestCrossoverGrowsWithN(t *testing.T) {
+	b := mustBound(t,
+		Spec{Family: topology.DeBruijnFamily},
+		Spec{Family: topology.MeshFamily, Dim: 2})
+	m1, _ := b.CrossoverPoint(1 << 10)
+	m2, _ := b.CrossoverPoint(1 << 20)
+	// lg² n: 100 -> 400.
+	if m2 < 3.5*m1 || m2 > 4.5*m1 {
+		t.Fatalf("crossover scaled %0.1f -> %0.1f; want ~4x", m1, m2)
+	}
+}
+
+func TestCrossoverSameClassPair(t *testing.T) {
+	// Butterfly on butterfly: same bandwidth class, crossover at m = Θ(n).
+	b := mustBound(t,
+		Spec{Family: topology.ButterflyFamily},
+		Spec{Family: topology.DeBruijnFamily})
+	n := 4096.0
+	m, _ := b.CrossoverPoint(n)
+	if m < n/4 {
+		t.Fatalf("same-class crossover m = %.1f, want Θ(n)", m)
+	}
+}
+
+func TestCurveMonotonicity(t *testing.T) {
+	b := mustBound(t,
+		Spec{Family: topology.DeBruijnFamily},
+		Spec{Family: topology.MeshFamily, Dim: 2})
+	pts := b.Curve(4096, []float64{4, 16, 64, 256, 1024, 4096})
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Load >= pts[i-1].Load {
+			t.Fatal("load bound must fall with m")
+		}
+		if pts[i].Comm >= pts[i-1].Comm {
+			t.Fatal("comm bound must fall with m")
+		}
+		// Load falls strictly faster than comm (that's why they cross).
+		dropLoad := pts[i-1].Load / pts[i].Load
+		dropComm := pts[i-1].Comm / pts[i].Comm
+		if dropLoad <= dropComm {
+			t.Fatalf("load should fall faster: %v vs %v", dropLoad, dropComm)
+		}
+	}
+}
+
+func TestNumericMaxHostCapsAtGuest(t *testing.T) {
+	// Butterfly guest on de Bruijn host: bandwidth constraint vacuous up to
+	// |G|, so the numeric max host is n itself.
+	b := mustBound(t,
+		Spec{Family: topology.ButterflyFamily},
+		Spec{Family: topology.DeBruijnFamily})
+	if got := b.NumericMaxHost(1 << 12); got != 1<<12 {
+		t.Fatalf("NumericMaxHost = %v, want n", got)
+	}
+	// De Bruijn on a mesh is polynomially capped at lg² n.
+	db := mustBound(t,
+		Spec{Family: topology.DeBruijnFamily},
+		Spec{Family: topology.MeshFamily, Dim: 2})
+	got := db.NumericMaxHost(1 << 12)
+	if math.Abs(got-144) > 2 {
+		t.Fatalf("NumericMaxHost = %v, want 144", got)
+	}
+}
+
+func TestNewBoundErrors(t *testing.T) {
+	if _, err := NewBound(Spec{Family: topology.MeshFamily}, Spec{Family: topology.TreeFamily}); err == nil {
+		t.Fatal("dimensionless mesh guest accepted")
+	}
+	if _, err := NewBound(Spec{Family: topology.TreeFamily}, Spec{Family: topology.MeshFamily}); err == nil {
+		t.Fatal("dimensionless mesh host accepted")
+	}
+}
+
+func TestVerifyEmulationDeBruijnOnMesh(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	guest := topology.DeBruijn(6)
+	host := topology.Mesh(2, 4)
+	check, err := VerifyEmulation(guest, host, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if check.N != 64 || check.M != 16 {
+		t.Fatalf("sizes %d/%d", check.N, check.M)
+	}
+	if check.Predicted <= 0 {
+		t.Fatal("no prediction")
+	}
+	// The theorem's direction: measured slowdown must not be far below the
+	// predicted lower bound.
+	if check.Ratio < 0.5 {
+		t.Fatalf("measured %.1f far below predicted %.1f", check.Measured, check.Predicted)
+	}
+}
+
+func TestVerifyEmulationRespectsBoundAcrossPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pairs := []struct {
+		guest, host *topology.Machine
+	}{
+		{topology.Mesh(2, 8), topology.Mesh(2, 4)},
+		{topology.Ring(32), topology.Ring(8)},
+		{topology.DeBruijn(6), topology.LinearArray(16)},
+		{topology.Butterfly(3), topology.Tree(4)},
+	}
+	for _, p := range pairs {
+		check, err := VerifyEmulation(p.guest, p.host, 2, rng)
+		if err != nil {
+			t.Fatalf("%s on %s: %v", p.guest.Name, p.host.Name, err)
+		}
+		if check.Ratio < 0.4 {
+			t.Errorf("%s on %s: measured %.2f below bound %.2f",
+				p.guest.Name, p.host.Name, check.Measured, check.Predicted)
+		}
+	}
+}
+
+func TestEmpiricalCrossoverSynthetic(t *testing.T) {
+	// Load-dominated until m=64 (slowdown ~ n/m), flat afterwards.
+	pts := []MeasuredPoint{
+		{M: 4, Slowdown: 256},
+		{M: 16, Slowdown: 70},
+		{M: 64, Slowdown: 25},
+		{M: 256, Slowdown: 22},
+		{M: 1024, Slowdown: 21},
+	}
+	knee, err := EmpiricalCrossover(pts, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if knee != 64 {
+		t.Fatalf("knee = %v, want 64", knee)
+	}
+}
+
+func TestEmpiricalCrossoverNeverFlattens(t *testing.T) {
+	pts := []MeasuredPoint{
+		{M: 4, Slowdown: 256},
+		{M: 16, Slowdown: 64},
+		{M: 64, Slowdown: 16},
+	}
+	knee, err := EmpiricalCrossover(pts, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if knee != 64 {
+		t.Fatalf("knee = %v, want the largest M", knee)
+	}
+}
+
+func TestEmpiricalCrossoverUnsortedInput(t *testing.T) {
+	pts := []MeasuredPoint{
+		{M: 256, Slowdown: 22},
+		{M: 4, Slowdown: 256},
+		{M: 64, Slowdown: 25},
+		{M: 16, Slowdown: 70},
+	}
+	knee, err := EmpiricalCrossover(pts, 0.25)
+	if err != nil || knee != 64 {
+		t.Fatalf("knee = %v, %v", knee, err)
+	}
+}
+
+func TestEmpiricalCrossoverErrors(t *testing.T) {
+	if _, err := EmpiricalCrossover([]MeasuredPoint{{M: 1, Slowdown: 1}}, 0.25); err == nil {
+		t.Fatal("too-few accepted")
+	}
+	pts := []MeasuredPoint{{M: 4, Slowdown: 1}, {M: 4, Slowdown: 2}, {M: 8, Slowdown: 1}}
+	if _, err := EmpiricalCrossover(pts, 0.25); err == nil {
+		t.Fatal("duplicate sizes accepted")
+	}
+	good := []MeasuredPoint{{M: 4, Slowdown: 8}, {M: 8, Slowdown: 4}, {M: 16, Slowdown: 2}}
+	if _, err := EmpiricalCrossover(good, 1.5); err == nil {
+		t.Fatal("bad relTol accepted")
+	}
+}
+
+// End-to-end: measured de Bruijn-on-mesh emulations produce a knee in the
+// vicinity of the analytic crossover.
+func TestEmpiricalCrossoverMatchesAnalytic(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	guest := topology.DeBruijn(8) // 256
+	var pts []MeasuredPoint
+	for _, side := range []int{2, 4, 8, 12, 16} {
+		host := topology.Mesh(2, side)
+		res := emulationDirect(guest, host, rng)
+		pts = append(pts, MeasuredPoint{M: float64(host.N()), Slowdown: res})
+	}
+	knee, err := EmpiricalCrossover(pts, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Analytic crossover for n=256 is lg²256 = 64; accept the knee in
+	// [16, 256) — the two-regime structure, not the exact constant.
+	if knee < 16 || knee >= 256 {
+		t.Fatalf("knee = %v, want within [16, 256)", knee)
+	}
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MeasuredPoint is one measured emulation: host size and achieved slowdown.
+type MeasuredPoint struct {
+	M        float64
+	Slowdown float64
+}
+
+// EmpiricalCrossover locates Figure 1's knee in measured data: the host
+// size past which growing the host no longer buys meaningful slowdown. A
+// point is "past the knee" when the marginal improvement per doubling of
+// |H| falls below relTol (e.g. 0.25 = less than 25% better per doubling).
+// Points are sorted by M internally; at least 3 points are required.
+// It returns the first past-the-knee host size, or the largest M if the
+// improvement never flattens.
+func EmpiricalCrossover(points []MeasuredPoint, relTol float64) (float64, error) {
+	if len(points) < 3 {
+		return 0, fmt.Errorf("core: empirical crossover needs >= 3 points, got %d", len(points))
+	}
+	if relTol <= 0 || relTol >= 1 {
+		return 0, fmt.Errorf("core: relTol %v out of (0,1)", relTol)
+	}
+	pts := make([]MeasuredPoint, len(points))
+	copy(pts, points)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].M < pts[j].M })
+	for i := 0; i+1 < len(pts); i++ {
+		a, b := pts[i], pts[i+1]
+		if a.M <= 0 || a.Slowdown <= 0 || b.Slowdown <= 0 {
+			return 0, fmt.Errorf("core: non-positive measured point")
+		}
+		if b.M <= a.M {
+			return 0, fmt.Errorf("core: duplicate host size %v", b.M)
+		}
+		// Improvement rate per doubling of M.
+		doublings := math.Log2(b.M / a.M)
+		improvement := 1 - b.Slowdown/a.Slowdown
+		if improvement/doublings < relTol {
+			return a.M, nil
+		}
+	}
+	return pts[len(pts)-1].M, nil
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// The paper states its consequences as five theorems. This file carries
+// them as structured, queryable statements so callers (and the report
+// generator) can index results by theorem rather than by raw family pair.
+
+// Theorem is one of the paper's numbered results.
+type Theorem struct {
+	Number int
+	Name   string
+	// Statement is a one-paragraph rendering of the theorem.
+	Statement string
+	// Guests and Hosts list the family shapes the theorem quantifies over
+	// (dimension 0 entries take the caller's j/k at instantiation).
+	Guests, Hosts []Spec
+	// MinTimeDesc renders the guest-time hypothesis.
+	MinTimeDesc string
+}
+
+// Theorems returns the paper's theorem catalogue with dimensioned guests
+// at j and dimensioned hosts at k.
+func Theorems(j, k int) []Theorem {
+	return []Theorem{
+		{
+			Number: 1,
+			Name:   "Efficient Emulation Theorem",
+			Statement: "Any efficient emulation of a fixed-degree guest G on a " +
+				"bottleneck-free host H running for T >= (1+Θ(1))·λ(G) guest steps " +
+				"has slowdown S >= Ω(β(G)/β(H)).",
+			MinTimeDesc: "T >= (1+Θ(1))·λ(G)",
+		},
+		{
+			Number: 2,
+			Name:   "X-Tree guests on weak hosts",
+			Statement: "Efficiently emulating T >= Ω(lg|G|) steps of an X-Tree on a " +
+				"linear array, tree, global bus, or weak parallel prefix network " +
+				"requires |H| <= O(|G|/lg|G|).",
+			Guests: []Spec{{Family: topology.XTreeFamily}},
+			Hosts: []Spec{
+				{Family: topology.LinearArrayFamily},
+				{Family: topology.TreeFamily},
+				{Family: topology.GlobalBusFamily},
+				{Family: topology.WeakPPNFamily},
+			},
+			MinTimeDesc: "T >= Ω(lg |G|)",
+		},
+		{
+			Number: 3,
+			Name:   "Mesh-class guests (long computations)",
+			Statement: "Efficiently emulating T >= Ω(|G|^{1/j}) steps of a j-dimensional " +
+				"mesh, torus, or X-grid requires hosts no larger than Table 1's entries.",
+			Guests: []Spec{
+				{Family: topology.MeshFamily, Dim: j},
+				{Family: topology.TorusFamily, Dim: j},
+				{Family: topology.XGridFamily, Dim: j},
+			},
+			Hosts:       hostSpecs(k),
+			MinTimeDesc: fmt.Sprintf("T >= Ω(|G|^{1/%d})", j),
+		},
+		{
+			Number: 4,
+			Name:   "Hierarchical guests (short computations)",
+			Statement: "Efficiently emulating T >= Ω(lg|G|) steps of a j-dimensional " +
+				"mesh-of-trees, multigrid, or pyramid requires hosts no larger than " +
+				"Table 2's entries.",
+			Guests: []Spec{
+				{Family: topology.MeshOfTreesFamily, Dim: j},
+				{Family: topology.MultigridFamily, Dim: j},
+				{Family: topology.PyramidFamily, Dim: j},
+			},
+			Hosts:       hostSpecs(k),
+			MinTimeDesc: "T >= Ω(lg |G|)",
+		},
+		{
+			Number: 5,
+			Name:   "Hypercubic guests",
+			Statement: "Efficiently emulating T >= Ω(lg|G|) steps of a butterfly, " +
+				"de Bruijn graph, shuffle-exchange, cube-connected cycles, " +
+				"multibutterfly, expander, or weak hypercube requires hosts no larger " +
+				"than Table 3's entries.",
+			Guests: []Spec{
+				{Family: topology.ButterflyFamily},
+				{Family: topology.DeBruijnFamily},
+				{Family: topology.ShuffleExchangeFamily},
+				{Family: topology.CubeConnectedCyclesFamily},
+				{Family: topology.MultibutterflyFamily},
+				{Family: topology.ExpanderFamily},
+				{Family: topology.WeakHypercubeFamily},
+			},
+			Hosts:       hostSpecs(k),
+			MinTimeDesc: "T >= Ω(lg |G|)",
+		},
+	}
+}
+
+// Rows instantiates a theorem's guest/host matrix as table rows. Theorem 1
+// has no fixed matrix and returns nil.
+func (t Theorem) Rows() []Row {
+	if len(t.Guests) == 0 {
+		return nil
+	}
+	if len(t.Hosts) == 0 {
+		return nil
+	}
+	return crossRows(t.Guests, t.Hosts)
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestTheoremsCatalogue(t *testing.T) {
+	ths := Theorems(2, 3)
+	if len(ths) != 5 {
+		t.Fatalf("theorem count = %d, want 5", len(ths))
+	}
+	for i, th := range ths {
+		if th.Number != i+1 {
+			t.Errorf("theorem %d numbered %d", i+1, th.Number)
+		}
+		if th.Statement == "" || th.MinTimeDesc == "" {
+			t.Errorf("theorem %d missing text", th.Number)
+		}
+	}
+}
+
+func TestTheorem2Shape(t *testing.T) {
+	th := Theorems(2, 3)[1]
+	if len(th.Guests) != 1 || th.Guests[0].Family != topology.XTreeFamily {
+		t.Fatalf("theorem 2 guests: %v", th.Guests)
+	}
+	rows := th.Rows()
+	if len(rows) != 4 {
+		t.Fatalf("theorem 2 rows = %d, want 4", len(rows))
+	}
+	// X-Tree guest on a linear array: per-node bandwidths lg n / n vs 1/m
+	// give |H| <= O(|G|/lg |G|).
+	for _, r := range rows {
+		if r.Bound.Host.Family == topology.LinearArrayFamily {
+			if !strings.Contains(r.MaxHost, "|G| lg^{-1} |G|") {
+				t.Fatalf("theorem 2 array row = %q", r.MaxHost)
+			}
+		}
+	}
+}
+
+func TestTheorem1HasNoMatrix(t *testing.T) {
+	th := Theorems(2, 2)[0]
+	if th.Rows() != nil {
+		t.Fatal("theorem 1 should have no fixed matrix")
+	}
+}
+
+func TestTheoremRowsMatchTables(t *testing.T) {
+	ths := Theorems(2, 3)
+	if got, want := len(ths[2].Rows()), len(Table1(2, 3)); got != want {
+		t.Fatalf("theorem 3 rows %d != table 1 rows %d", got, want)
+	}
+	if got, want := len(ths[3].Rows()), len(Table2(2, 3)); got != want {
+		t.Fatalf("theorem 4 rows %d != table 2 rows %d", got, want)
+	}
+	if got, want := len(ths[4].Rows()), len(Table3(3)); got != want {
+		t.Fatalf("theorem 5 rows %d != table 3 rows %d", got, want)
+	}
+}
+
+func TestKochTreeOnMesh(t *testing.T) {
+	b := KochTreeOnMesh(2)
+	if b.Kind != DistanceBased {
+		t.Fatal("wrong kind")
+	}
+	// At n = 2^20: (2^20 / 400)^{1/3} ≈ 13.8.
+	got := b.Slowdown(1<<20, 0)
+	want := math.Pow(float64(1<<20)/400, 1.0/3.0)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("slowdown = %v, want %v", got, want)
+	}
+	if !strings.Contains(b.Statement, "tree guests") {
+		t.Fatalf("statement = %q", b.Statement)
+	}
+}
+
+func TestKochMeshOnMesh(t *testing.T) {
+	b := KochMeshOnMesh(3, 2)
+	// Exponent (3-2)/(2*3) = 1/6: at m = 2^12, slowdown = 2^2 = 4.
+	if got := b.Slowdown(0, 1<<12); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("slowdown = %v, want 4", got)
+	}
+}
+
+func TestKochPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	KochMeshOnMesh(2, 2)
+}
+
+// The paper's §1.2 claim, executable: for mesh-on-mesh pairs the bandwidth
+// method reproduces the congestion-based bound exactly at equal sizes.
+func TestBandwidthMatchesKochAtEqualSize(t *testing.T) {
+	for _, pair := range [][2]int{{2, 1}, {3, 1}, {3, 2}, {4, 2}, {4, 3}} {
+		k, j := pair[0], pair[1]
+		for _, n := range []float64{1 << 10, 1 << 16, 1 << 20} {
+			if !AgreesAtEqualSize(k, j, n, 1.01) {
+				koch := KochMeshOnMesh(k, j).Slowdown(n, n)
+				band := BandwidthMeshOnMesh(k, j).Slowdown(n, n)
+				t.Fatalf("k=%d j=%d n=%v: koch %v vs bandwidth %v", k, j, n, koch, band)
+			}
+		}
+	}
+}
+
+func TestBaselineKindString(t *testing.T) {
+	if DistanceBased.String() != "distance-based" || CongestionBased.String() != "congestion-based" {
+		t.Fatal("kind strings wrong")
+	}
+	if BaselineKind(7).String() == "" {
+		t.Fatal("unknown kind blank")
+	}
+}

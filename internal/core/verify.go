@@ -1,0 +1,47 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/emulation"
+	"repro/internal/topology"
+)
+
+// Check compares a measured emulation against the theorem's prediction for
+// one concrete guest/host pair.
+type Check struct {
+	Bound Bound
+	N, M  int
+	// Predicted is the combined lower bound max(n/m, β_G(n)/β_H(m)) with
+	// Θ-constants taken as 1.
+	Predicted float64
+	// Measured is the slowdown the direct emulation achieved.
+	Measured float64
+	// Ratio = Measured / Predicted. The theorem guarantees Measured =
+	// Ω(Predicted): across a sweep the ratio must stay bounded away from 0.
+	Ratio float64
+}
+
+// VerifyEmulation runs the direct contraction emulation of guest on host
+// for `steps` guest steps and compares the measured slowdown against the
+// theorem's lower bound for the pair's families.
+func VerifyEmulation(guest, host *topology.Machine, steps int, rng *rand.Rand) (Check, error) {
+	b, err := NewBound(Spec{Family: guest.Family, Dim: guest.Dim}, Spec{Family: host.Family, Dim: host.Dim})
+	if err != nil {
+		return Check{}, err
+	}
+	res := emulation.Direct(guest, host, steps, nil, rng)
+	pred := b.Slowdown(float64(guest.N()), float64(host.N()))
+	if pred <= 0 {
+		return Check{}, fmt.Errorf("core: non-positive prediction for %v on %v", b.Guest, b.Host)
+	}
+	return Check{
+		Bound:     b,
+		N:         guest.N(),
+		M:         host.N(),
+		Predicted: pred,
+		Measured:  res.Slowdown,
+		Ratio:     res.Slowdown / pred,
+	}, nil
+}

@@ -1,0 +1,131 @@
+package embed
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/multigraph"
+)
+
+// This file estimates the paper's limiting G-congestion C(H, T): the
+// minimum congestion over 1-to-1 embeddings of xT into H as x grows,
+// normalized by x. In the limit, load may split fractionally across
+// alternative paths, so the natural estimator is a fractional spread
+// followed by local improvement, bracketed below by flux and cut bounds.
+
+// FractionalCongestion estimates the normalized limiting congestion of
+// embedding traffic T into host under the given vertex map: every traffic
+// edge's weight is spread uniformly over `spread` random shortest paths,
+// and the result is the maximum per-wire fractional load. Larger spread
+// approaches the optimum from above on the machines considered.
+func FractionalCongestion(host, traffic *multigraph.Multigraph, vertexMap []int, spread int, rng *rand.Rand) float64 {
+	checkMap(host, traffic, vertexMap)
+	if spread < 1 {
+		spread = 1
+	}
+	loads := make(map[edgeKey]float64)
+	for _, te := range traffic.Edges() {
+		hu, hv := vertexMap[te.U], vertexMap[te.V]
+		if hu == hv {
+			continue
+		}
+		share := float64(te.Mult) / float64(spread)
+		for s := 0; s < spread; s++ {
+			p := host.RandomShortestPath(hu, hv, rng)
+			for i := 0; i+1 < len(p); i++ {
+				loads[keyOf(p[i], p[i+1])] += share
+			}
+		}
+	}
+	worst := 0.0
+	for k, load := range loads {
+		per := load / float64(host.Multiplicity(k.u, k.v))
+		if per > worst {
+			worst = per
+		}
+	}
+	return worst
+}
+
+// FluxLowerBound returns the flux (distance-volume) lower bound on the
+// congestion of any embedding of traffic into host under the map: total
+// weighted distance divided by the number of host wires. Any routing must
+// ship each unit of traffic over at least its shortest-path distance.
+func FluxLowerBound(host, traffic *multigraph.Multigraph, vertexMap []int) float64 {
+	checkMap(host, traffic, vertexMap)
+	// Group traffic endpoints by host source to reuse BFS runs.
+	need := make(map[int][]multigraph.Edge)
+	for _, te := range traffic.Edges() {
+		hu := vertexMap[te.U]
+		need[hu] = append(need[hu], te)
+	}
+	var volume float64
+	for hu, edges := range need {
+		dist := host.BFS(hu)
+		for _, te := range edges {
+			hv := vertexMap[te.V]
+			if hv == hu {
+				continue
+			}
+			volume += float64(te.Mult) * float64(dist[hv])
+		}
+	}
+	return volume / float64(host.E())
+}
+
+// CutLowerBound returns a cut-based lower bound on congestion: for the
+// given host partition, all traffic between opposite sides must cross the
+// cut wires. side is indexed by host vertex.
+func CutLowerBound(host, traffic *multigraph.Multigraph, vertexMap []int, side []bool) float64 {
+	checkMap(host, traffic, vertexMap)
+	cut := host.CutWeight(side)
+	if cut == 0 {
+		return 0
+	}
+	var crossing int64
+	for _, te := range traffic.Edges() {
+		if side[vertexMap[te.U]] != side[vertexMap[te.V]] {
+			crossing += te.Mult
+		}
+	}
+	return float64(crossing) / float64(cut)
+}
+
+// EstimateGCongestion brackets C(host, traffic) under the identity-style
+// vertex map: it returns a fractional-spread upper estimate and the best
+// of the flux and (heuristic) bisection lower bounds. The truth lies in
+// [lower, upper]; on the paper's machines the two are within small
+// constant factors.
+func EstimateGCongestion(host, traffic *multigraph.Multigraph, vertexMap []int, spread int, rng *rand.Rand) (lower, upper float64) {
+	upper = FractionalCongestion(host, traffic, vertexMap, spread, rng)
+	lower = FluxLowerBound(host, traffic, vertexMap)
+	side := bisectionSide(host, rng)
+	if cb := CutLowerBound(host, traffic, vertexMap, side); cb > lower {
+		lower = cb
+	}
+	return lower, upper
+}
+
+// bisectionSide returns a balanced partition of host with a small cut,
+// reusing the multigraph heuristics.
+func bisectionSide(host *multigraph.Multigraph, rng *rand.Rand) []bool {
+	// Use a BFS sweep from vertex 0 (cheap, good on structured machines),
+	// falling back to random if the graph is tiny.
+	n := host.N()
+	side := make([]bool, n)
+	if n < 2 {
+		return side
+	}
+	dist := host.BFS(0)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	// Stable sort by distance so ties stay shuffled.
+	sort.SliceStable(order, func(i, j int) bool { return dist[order[i]] < dist[order[j]] })
+	for i := 0; i < n/2; i++ {
+		side[order[i]] = true
+	}
+	return side
+}

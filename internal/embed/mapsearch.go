@@ -1,0 +1,94 @@
+package embed
+
+import (
+	"math/rand"
+
+	"repro/internal/multigraph"
+)
+
+// The paper's C(H, G) minimizes congestion over all 1-to-1 embeddings —
+// including the choice of vertex bijection. OptimizeMap searches that
+// bijection by simulated-annealing-flavoured swap descent: starting from a
+// given map, it repeatedly swaps the images of two guest vertices and keeps
+// the swap when it lowers (or occasionally, early on, ties) an inexpensive
+// congestion surrogate — the total weighted path length (flux), whose
+// minimum tracks the congestion minimum on the paper's machines.
+
+// OptimizeMap improves a bijection guest->host by swap descent on the flux
+// surrogate (sum over guest edges of multiplicity x host distance). swaps
+// is the number of candidate swaps to try. It returns the improved map and
+// its flux. The input map must be a bijection (host and guest the same
+// size); the input slice is not modified.
+func OptimizeMap(host, guest *multigraph.Multigraph, vertexMap []int, swaps int, rng *rand.Rand) ([]int, float64) {
+	checkMap(host, guest, vertexMap)
+	if host.N() != guest.N() {
+		panic("embed: OptimizeMap needs |host| == |guest|")
+	}
+	n := guest.N()
+	cur := make([]int, n)
+	copy(cur, vertexMap)
+
+	// Precompute all-pairs distances on the host (n BFS runs). Feasible for
+	// the instance sizes the congestion estimators use (n <= ~2000).
+	dist := make([][]int, n)
+	for v := 0; v < n; v++ {
+		dist[v] = host.BFS(v)
+	}
+	edges := guest.Edges()
+	// vertexCost computes the flux contribution of guest vertex u under
+	// the current map.
+	adj := make([][]multigraph.Edge, n)
+	for _, e := range edges {
+		adj[e.U] = append(adj[e.U], e)
+		adj[e.V] = append(adj[e.V], e)
+	}
+	vertexCost := func(u int) float64 {
+		var c float64
+		for _, e := range adj[u] {
+			c += float64(e.Mult) * float64(dist[cur[e.U]][cur[e.V]])
+		}
+		return c
+	}
+	total := 0.0
+	for _, e := range edges {
+		total += float64(e.Mult) * float64(dist[cur[e.U]][cur[e.V]])
+	}
+	for s := 0; s < swaps; s++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			continue
+		}
+		before := vertexCost(a) + vertexCost(b)
+		// Edges between a and b are double counted identically before and
+		// after, so the delta is still exact.
+		cur[a], cur[b] = cur[b], cur[a]
+		after := vertexCost(a) + vertexCost(b)
+		if after <= before {
+			total += after - before
+		} else {
+			cur[a], cur[b] = cur[b], cur[a] // revert
+		}
+	}
+	return cur, total
+}
+
+// BestGCongestion estimates the paper's C(H, G) including the bijection
+// search: it optimizes the vertex map from `restarts` random starting
+// bijections, then measures fractional congestion under the best map
+// found. Host and guest must have equal vertex counts.
+func BestGCongestion(host, guest *multigraph.Multigraph, spread, swaps, restarts int, rng *rand.Rand) float64 {
+	if host.N() != guest.N() {
+		panic("embed: BestGCongestion needs |host| == |guest|")
+	}
+	n := host.N()
+	bestFlux := -1.0
+	var bestMap []int
+	for r := 0; r < restarts || bestMap == nil; r++ {
+		start := rng.Perm(n)
+		m, flux := OptimizeMap(host, guest, start, swaps, rng)
+		if bestFlux < 0 || flux < bestFlux {
+			bestFlux, bestMap = flux, m
+		}
+	}
+	return FractionalCongestion(host, guest, bestMap, spread, rng)
+}

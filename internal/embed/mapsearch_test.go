@@ -1,0 +1,75 @@
+package embed
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestOptimizeMapRecoversPathIdentity(t *testing.T) {
+	// Embedding a path into a path: the optimal bijection is (a reflection
+	// of) the identity with flux = n-1. Swap descent from a random start
+	// should get close.
+	rng := rand.New(rand.NewSource(1))
+	host := path(12)
+	guest := path(12)
+	start := rng.Perm(12)
+	m, flux := OptimizeMap(host, guest, start, 6000, rng)
+	if flux < 11 {
+		t.Fatalf("flux %v below optimum 11", flux)
+	}
+	if flux > 30 {
+		t.Fatalf("flux %v far from optimum 11", flux)
+	}
+	// The result must still be a bijection.
+	seen := make([]bool, 12)
+	for _, v := range m {
+		if seen[v] {
+			t.Fatal("map is not a bijection")
+		}
+		seen[v] = true
+	}
+}
+
+func TestOptimizeMapNeverWorsens(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	host := grid(4, 4)
+	guest := cycle(16)
+	start := rng.Perm(16)
+	// Flux of the starting map:
+	var startFlux float64
+	for _, e := range guest.Edges() {
+		d := host.BFS(start[e.U])[start[e.V]]
+		startFlux += float64(e.Mult) * float64(d)
+	}
+	_, flux := OptimizeMap(host, guest, start, 3000, rng)
+	if flux > startFlux {
+		t.Fatalf("optimization worsened flux: %v -> %v", startFlux, flux)
+	}
+}
+
+func TestOptimizeMapSizeMismatchPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	OptimizeMap(path(4), path(3), []int{0, 1, 2}, 10, rng)
+}
+
+func TestBestGCongestionCycleIntoGrid(t *testing.T) {
+	// A 16-cycle embeds into a 4x4 grid with congestion O(1) under a good
+	// (boustrophedon) bijection; a random bijection gives much worse. The
+	// search should land near the good end.
+	rng := rand.New(rand.NewSource(4))
+	host := grid(4, 4)
+	guest := cycle(16)
+	best := BestGCongestion(host, guest, 4, 4000, 3, rng)
+	random := FractionalCongestion(host, guest, rng.Perm(16), 4, rng)
+	if best > random {
+		t.Fatalf("search (%v) worse than random map (%v)", best, random)
+	}
+	if best > 4 {
+		t.Fatalf("cycle-into-grid congestion %v, want small constant", best)
+	}
+}

@@ -1,0 +1,67 @@
+package growth
+
+import "testing"
+
+// FuzzParse checks that the parser never panics and that everything it
+// accepts round-trips through String back to an equivalent function.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"1", "n", "n^{1/2}", "lg n", "lg^{2} n", "n^{2/3} lg n",
+		"n lg^{-1} n", "n^{-1/2} lg^{3} n", "lg", "n^{", "x", "n n n",
+		"lg^{1/0} n", "n^{9999999999999999999}",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		fn, err := Parse(s)
+		if err != nil {
+			return
+		}
+		back, err := Parse(fn.String())
+		if err != nil {
+			t.Fatalf("String() output %q of parsed %q does not re-parse: %v", fn.String(), s, err)
+		}
+		if back.Pow.Cmp(fn.Pow) != 0 || back.LogPow.Cmp(fn.LogPow) != 0 {
+			t.Fatalf("round trip changed %q -> %q", fn.String(), back.String())
+		}
+	})
+}
+
+// FuzzRatArithmetic checks closure properties of the rational arithmetic
+// on arbitrary small operands: normalization invariants hold after every
+// operation.
+func FuzzRatArithmetic(f *testing.F) {
+	f.Add(int64(1), int64(2), int64(-3), int64(4))
+	f.Add(int64(0), int64(1), int64(7), int64(7))
+	f.Fuzz(func(t *testing.T, an, ad, bn, bd int64) {
+		// Clamp to small values: the Rat type documents int64 overflow as
+		// out of scope (exponents in practice are tiny).
+		clamp := func(x int64) int64 {
+			if x > 1000 {
+				return 1000
+			}
+			if x < -1000 {
+				return -1000
+			}
+			return x
+		}
+		an, ad, bn, bd = clamp(an), clamp(ad), clamp(bn), clamp(bd)
+		if ad == 0 || bd == 0 {
+			return
+		}
+		a, b := R(an, ad), R(bn, bd)
+		for _, r := range []Rat{a.Add(b), a.Sub(b), a.Mul(b), a.Neg()} {
+			if r.Den <= 0 {
+				t.Fatalf("non-positive denominator %v", r)
+			}
+			if g := gcd(abs(r.Num), r.Den); r.Num != 0 && g != 1 {
+				t.Fatalf("not in lowest terms: %v", r)
+			}
+		}
+		if b.Sign() != 0 {
+			if r := a.Div(b); r.Den <= 0 {
+				t.Fatalf("division broke normalization: %v", r)
+			}
+		}
+	})
+}

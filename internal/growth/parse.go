@@ -1,0 +1,78 @@
+package growth
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a growth function in the String() syntax: whitespace-
+// separated factors, each one of
+//
+//	1                — the constant factor (only meaningful alone)
+//	n                — the variable
+//	n^{p}, n^{p/q}   — a rational power of n
+//	lg n             — one logarithm ("lg" must be followed by "n")
+//	lg^{r} n         — a rational power of the logarithm
+//
+// so Parse(f.String()) == f for every normalized f with coefficient 1.
+func Parse(s string) (Func, error) {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return Func{}, fmt.Errorf("growth: empty expression")
+	}
+	out := One()
+	i := 0
+	for i < len(fields) {
+		tok := fields[i]
+		switch {
+		case tok == "1":
+			i++
+		case tok == "n":
+			out = out.Mul(Poly(1, 1))
+			i++
+		case strings.HasPrefix(tok, "n^{") && strings.HasSuffix(tok, "}"):
+			r, err := parseRat(tok[3 : len(tok)-1])
+			if err != nil {
+				return Func{}, err
+			}
+			out = out.Mul(Make(r, Int(0)))
+			i++
+		case tok == "lg":
+			if i+1 >= len(fields) || fields[i+1] != "n" {
+				return Func{}, fmt.Errorf("growth: 'lg' must be followed by 'n' in %q", s)
+			}
+			out = out.Mul(PolyLog(1))
+			i += 2
+		case strings.HasPrefix(tok, "lg^{") && strings.HasSuffix(tok, "}"):
+			r, err := parseRat(tok[4 : len(tok)-1])
+			if err != nil {
+				return Func{}, err
+			}
+			if i+1 >= len(fields) || fields[i+1] != "n" {
+				return Func{}, fmt.Errorf("growth: %q must be followed by 'n' in %q", tok, s)
+			}
+			out = out.Mul(Make(Int(0), r))
+			i += 2
+		default:
+			return Func{}, fmt.Errorf("growth: cannot parse token %q in %q", tok, s)
+		}
+	}
+	return out, nil
+}
+
+func parseRat(s string) (Rat, error) {
+	parts := strings.SplitN(s, "/", 2)
+	num, err := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
+	if err != nil {
+		return Rat{}, fmt.Errorf("growth: bad exponent %q: %v", s, err)
+	}
+	den := int64(1)
+	if len(parts) == 2 {
+		den, err = strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 64)
+		if err != nil || den == 0 {
+			return Rat{}, fmt.Errorf("growth: bad exponent %q", s)
+		}
+	}
+	return R(num, den), nil
+}

@@ -1,0 +1,131 @@
+package growth
+
+import "fmt"
+
+// SolutionKind classifies the outcome of inverting a growth equation
+// f(m) = g(n) for m.
+type SolutionKind int
+
+const (
+	// Polynomial: m(n) is a Func (n^a lg^b n form).
+	Polynomial SolutionKind = iota
+	// Exponential: m(n) = 2^Θ(e(n)) for a non-logarithmic exponent e(n);
+	// the constraint is vacuous for any host no larger than the guest
+	// (e.g. a butterfly host for a mesh guest).
+	Exponential
+	// Unbounded: f is constant in m, so no finite m satisfies or violates
+	// the equation asymptotically; the equation imposes no constraint.
+	Unbounded
+	// Infeasible: no growing m(n) satisfies the equation (the solution
+	// exponent would be negative).
+	Infeasible
+)
+
+func (k SolutionKind) String() string {
+	switch k {
+	case Polynomial:
+		return "polynomial"
+	case Exponential:
+		return "exponential"
+	case Unbounded:
+		return "unbounded"
+	case Infeasible:
+		return "infeasible"
+	default:
+		return fmt.Sprintf("SolutionKind(%d)", int(k))
+	}
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Kind SolutionKind
+	// M is the solution m(n) when Kind == Polynomial.
+	M Func
+	// Exponent is e(n) with m = 2^Θ(e(n)) when Kind == Exponential.
+	Exponent Func
+	// UpToLogLog is set when the solution is exact only up to lg lg n
+	// factors (purely polylogarithmic m with a residual log factor in f).
+	UpToLogLog bool
+}
+
+// Solve inverts f(m) = g(n) for m as a growth function of n.
+//
+// Writing f(m) = m^a lg^b m and g(n) = n^s lg^t n:
+//
+//   - a != 0: substitute m = n^α lg^β n. For α > 0, lg m = Θ(lg n), so
+//     f(m) = n^{aα} lg^{aβ+b} n, giving α = s/a and β = (t-b)/a. For α = 0
+//     (purely polylog m) the residual lg^b m = Θ(lglg^b n) factor falls
+//     outside the algebra; the returned solution sets UpToLogLog when b != 0.
+//   - a == 0, b != 0: lg^b m = g(n) forces lg m = g(n)^{1/b}. When that is
+//     Θ(lg n) the solution is polynomial (m = n^Θ(1)); otherwise m is
+//     2^Θ(g^{1/b}) and the Exponential kind is returned.
+//   - a == 0, b == 0: f is constant; Unbounded.
+//
+// Coefficients are propagated on a best-effort basis and should be read as
+// Θ-constants, not exact values.
+func Solve(f, g Func) Solution {
+	a, b := f.Pow, f.LogPow
+	if a.IsZero() && b.IsZero() {
+		return Solution{Kind: Unbounded}
+	}
+	if a.IsZero() {
+		// lg m = (g/coeff_f)^{1/b}
+		lgM := g.WithCoeff(1 / f.Coeff).PowBy(b.norm().inverse())
+		if lgM.Pow.IsZero() && lgM.LogPow.Cmp(Int(1)) == 0 {
+			// lg m = Θ(lg n)  =>  m = n^Θ(1); report m = Θ(n^c).
+			return Solution{Kind: Polynomial, M: Func{Coeff: 1, Pow: floatToRat(lgM.Coeff)}}
+		}
+		if lgM.Pow.Sign() < 0 || (lgM.Pow.IsZero() && lgM.LogPow.Sign() < 0) {
+			return Solution{Kind: Infeasible}
+		}
+		return Solution{Kind: Exponential, Exponent: lgM}
+	}
+	alpha := g.Pow.Div(a)
+	if alpha.Sign() < 0 {
+		return Solution{Kind: Infeasible}
+	}
+	if alpha.Sign() == 0 {
+		// m is purely polylogarithmic: m = lg^β n with aβ = t, and the
+		// lg^b m factor contributes only lglg terms.
+		beta := g.LogPow.Div(a)
+		if beta.Sign() < 0 {
+			return Solution{Kind: Infeasible}
+		}
+		m := Func{Coeff: ratPowCoeff(g.Coeff/f.Coeff, a), Pow: Int(0), LogPow: beta}
+		return Solution{Kind: Polynomial, M: m, UpToLogLog: !b.IsZero()}
+	}
+	beta := g.LogPow.Sub(b).Div(a)
+	m := Func{Coeff: ratPowCoeff(g.Coeff/f.Coeff, a), Pow: alpha, LogPow: beta}
+	return Solution{Kind: Polynomial, M: m}
+}
+
+func (r Rat) inverse() Rat { r = r.v(); return R(r.Den, r.Num) }
+
+// ratPowCoeff computes c^(1/a) for the coefficient propagation in Solve.
+func ratPowCoeff(c float64, a Rat) float64 {
+	if c <= 0 {
+		return 1
+	}
+	return Func{Coeff: c}.PowBy(a.inverse()).Coeff
+}
+
+// floatToRat approximates a small positive float by a rational with
+// denominator up to 64, for exponents recovered from coefficients.
+func floatToRat(x float64) Rat {
+	bestNum, bestDen := int64(1), int64(1)
+	bestErr := 1e18
+	for den := int64(1); den <= 64; den++ {
+		num := int64(x*float64(den) + 0.5)
+		if num < 0 {
+			num = 0
+		}
+		err := x - float64(num)/float64(den)
+		if err < 0 {
+			err = -err
+		}
+		if err < bestErr {
+			bestErr, bestNum, bestDen = err, num, den
+		}
+	}
+	return R(bestNum, bestDen)
+}

@@ -1,0 +1,199 @@
+// Package mapping solves instances of the mapping problem the paper cites
+// (Berman & Snyder): assigning guest processors to host processors so that
+// communicating guests land near each other. The emulation experiments use
+// it as the locality-preserving contraction for machine pairs that have no
+// coordinate structure to exploit.
+//
+// The algorithm is classic recursive coordinated bisection: split the
+// guest with a small balanced cut, split the host likewise, map the halves
+// to each other, and recurse until the host side is a single processor.
+// Guest cuts use the multigraph's local-search bisection; host cuts reuse
+// the same heuristic, so the expensive spectral machinery stays optional.
+package mapping
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/multigraph"
+	"repro/internal/topology"
+)
+
+// Options tunes the recursion.
+type Options struct {
+	// Restarts per bisection call (local-search restarts). Default 3.
+	Restarts int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Restarts < 1 {
+		o.Restarts = 3
+	}
+	return o
+}
+
+// RecursiveBisection maps guest processors onto host processors by
+// coordinated recursive bisection and returns the assignment (guest
+// processor -> host processor). Both machines must be pure processor
+// machines on their graphs' vertex sets; the guest must be at least as
+// large as the host.
+func RecursiveBisection(guest, host *topology.Machine, opts Options, rng *rand.Rand) []int {
+	if guest.N() != guest.Graph.N() {
+		panic(fmt.Sprintf("mapping: guest %s has switch vertices", guest.Name))
+	}
+	if host.N() < 1 {
+		panic("mapping: empty host")
+	}
+	opts = opts.withDefaults()
+	assign := make([]int, guest.N())
+	guestAll := make([]int, guest.N())
+	for i := range guestAll {
+		guestAll[i] = i
+	}
+	hostAll := make([]int, host.N())
+	for i := range hostAll {
+		hostAll[i] = i
+	}
+	recurse(guest.Graph, host.Graph, guestAll, hostAll, assign, opts, rng)
+	return assign
+}
+
+// recurse maps the guest vertices in gPart onto the host vertices in hPart.
+func recurse(g, h *multigraph.Multigraph, gPart, hPart []int, assign []int, opts Options, rng *rand.Rand) {
+	if len(hPart) == 1 {
+		for _, v := range gPart {
+			assign[v] = hPart[0]
+		}
+		return
+	}
+	if len(gPart) == 0 {
+		return
+	}
+	// Split the host into two halves with a small cut, then split the
+	// guest proportionally, and pair the sides so that (heuristically)
+	// the bigger guest half gets the bigger host half.
+	hA, hB := splitPart(h, hPart, len(hPart)/2, opts, rng)
+	wantA := len(gPart) * len(hA) / len(hPart)
+	gA, gB := splitPart(g, gPart, wantA, opts, rng)
+	recurse(g, h, gA, hA, assign, opts, rng)
+	recurse(g, h, gB, hB, assign, opts, rng)
+}
+
+// splitPart partitions `part` into sizes (k, len-k) minimizing the induced
+// cut with a random-restart local search over the induced subgraph.
+func splitPart(g *multigraph.Multigraph, part []int, k int, opts Options, rng *rand.Rand) ([]int, []int) {
+	n := len(part)
+	if k <= 0 {
+		return nil, append([]int(nil), part...)
+	}
+	if k >= n {
+		return append([]int(nil), part...), nil
+	}
+	// Build the induced subgraph once.
+	index := make(map[int]int, n)
+	for i, v := range part {
+		index[v] = i
+	}
+	sub := multigraph.New(n)
+	for i, v := range part {
+		g.VisitNeighbors(v, func(u int, mult int64) {
+			if j, ok := index[u]; ok && j > i {
+				sub.AddEdge(i, j, mult)
+			}
+		})
+	}
+	bestSide := make([]bool, n)
+	bestCut := int64(-1)
+	side := make([]bool, n)
+	for r := 0; r < opts.Restarts; r++ {
+		// Random size-k seed refined by greedy swaps.
+		perm := rng.Perm(n)
+		for i := range side {
+			side[i] = false
+		}
+		for i := 0; i < k; i++ {
+			side[perm[i]] = true
+		}
+		cut := refineFixedSize(sub, side, k)
+		if bestCut < 0 || cut < bestCut {
+			bestCut = cut
+			copy(bestSide, side)
+		}
+	}
+	var a, b []int
+	for i, v := range part {
+		if bestSide[i] {
+			a = append(a, v)
+		} else {
+			b = append(b, v)
+		}
+	}
+	return a, b
+}
+
+// refineFixedSize greedily swaps one vertex from each side while the cut
+// improves, preserving the side sizes, and returns the final cut. The swap
+// pair is chosen among the top-gain candidates of each side, keeping each
+// iteration O(n).
+func refineFixedSize(g *multigraph.Multigraph, side []bool, _ int) int64 {
+	n := g.N()
+	gain := make([]int64, n)
+	recompute := func(u int) {
+		var ext, in int64
+		g.VisitNeighbors(u, func(v int, mult int64) {
+			if side[v] != side[u] {
+				ext += mult
+			} else {
+				in += mult
+			}
+		})
+		gain[u] = ext - in
+	}
+	for u := 0; u < n; u++ {
+		recompute(u)
+	}
+	cut := g.CutWeight(side)
+	const cand = 6
+	top := func(want bool) []int {
+		out := make([]int, 0, cand)
+		for u := 0; u < n; u++ {
+			if side[u] != want {
+				continue
+			}
+			pos := len(out)
+			for pos > 0 && gain[out[pos-1]] < gain[u] {
+				pos--
+			}
+			if pos < cand {
+				if len(out) < cand {
+					out = append(out, 0)
+				}
+				copy(out[pos+1:], out[pos:len(out)-1])
+				out[pos] = u
+			}
+		}
+		return out
+	}
+	for iter := 0; iter < 2*n; iter++ {
+		bestU, bestV := -1, -1
+		var bestDelta int64
+		for _, u := range top(true) {
+			for _, v := range top(false) {
+				delta := gain[u] + gain[v] - 2*g.Multiplicity(u, v)
+				if delta > bestDelta {
+					bestDelta, bestU, bestV = delta, u, v
+				}
+			}
+		}
+		if bestU < 0 {
+			break
+		}
+		side[bestU], side[bestV] = false, true
+		cut -= bestDelta
+		recompute(bestU)
+		recompute(bestV)
+		g.VisitNeighbors(bestU, func(v int, _ int64) { recompute(v) })
+		g.VisitNeighbors(bestV, func(v int, _ int64) { recompute(v) })
+	}
+	return cut
+}

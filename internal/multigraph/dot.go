@@ -1,0 +1,36 @@
+package multigraph
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT writes the multigraph in Graphviz DOT format. Parallel edges are
+// rendered as a single edge labelled with the multiplicity when it exceeds
+// one. name becomes the graph identifier.
+func (g *Multigraph) WriteDOT(w io.Writer, name string) error {
+	if name == "" {
+		name = "G"
+	}
+	if _, err := fmt.Fprintf(w, "graph %q {\n", name); err != nil {
+		return err
+	}
+	for u := 0; u < g.n; u++ {
+		if _, err := fmt.Fprintf(w, "  %d;\n", u); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.Edges() {
+		var err error
+		if e.Mult > 1 {
+			_, err = fmt.Fprintf(w, "  %d -- %d [label=%d];\n", e.U, e.V, e.Mult)
+		} else {
+			_, err = fmt.Fprintf(w, "  %d -- %d;\n", e.U, e.V)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

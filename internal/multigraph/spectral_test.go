@@ -1,0 +1,133 @@
+package multigraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFiedlerVectorPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := path(16)
+	x, lambda, err := g.FiedlerVector(400, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// λ₂ of a path on n vertices is 2(1 - cos(π/n)).
+	want := 2 * (1 - math.Cos(math.Pi/16))
+	if math.Abs(lambda-want) > 0.02 {
+		t.Fatalf("lambda2 = %v, want %v", lambda, want)
+	}
+	// The Fiedler vector of a path is monotone: signs split the path in
+	// half.
+	neg := 0
+	for _, v := range x[:8] {
+		if v < 0 {
+			neg++
+		}
+	}
+	if neg != 0 && neg != 8 {
+		t.Fatalf("Fiedler vector not monotone over the path: %v", x)
+	}
+}
+
+func TestFiedlerVectorErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if _, _, err := New(1).FiedlerVector(10, rng); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	g := New(4)
+	g.AddSimpleEdge(0, 1)
+	if _, _, err := g.FiedlerVector(10, rng); err == nil {
+		t.Fatal("disconnected graph accepted")
+	}
+}
+
+func TestSpectralBisectionPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := path(20)
+	side, cut, err := g.SpectralBisection(400, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut != 1 {
+		t.Fatalf("spectral cut = %d, want 1 (split the path in half)", cut)
+	}
+	count := 0
+	for _, s := range side {
+		if s {
+			count++
+		}
+	}
+	if count != 10 {
+		t.Fatalf("unbalanced partition: %d", count)
+	}
+}
+
+func TestSpectralBisectionGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := grid(6, 6)
+	_, cut, err := g.SpectralBisection(500, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// True bisection 6; spectral should land close.
+	if cut < 6 || cut > 10 {
+		t.Fatalf("spectral grid cut = %d, want ~6", cut)
+	}
+}
+
+func TestExpansionEstimateBrackets(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// Random 4-regular-ish expander: union of 2 random cycles.
+	n := 64
+	g := New(n)
+	for h := 0; h < 2; h++ {
+		perm := rng.Perm(n)
+		for i := 0; i < n; i++ {
+			g.AddSimpleEdge(perm[i], perm[(i+1)%n])
+		}
+	}
+	lower, upper, err := g.ExpansionEstimate(400, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lower <= 0 {
+		t.Fatalf("Cheeger lower bound %v not positive for an expander", lower)
+	}
+	if upper < lower {
+		t.Fatalf("bracket inverted: [%v, %v]", lower, upper)
+	}
+	// Expanders have constant expansion; the sweep bound must not collapse.
+	if upper < 0.05 {
+		t.Fatalf("upper bound %v implausibly small for an expander", upper)
+	}
+}
+
+func TestExpansionPathIsSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := path(64)
+	lower, upper, err := g.ExpansionEstimate(400, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A path has expansion ~1/(n/2): tiny.
+	if upper > 0.1 {
+		t.Fatalf("path expansion upper bound %v, want ~0.03", upper)
+	}
+	if lower > upper {
+		t.Fatalf("bracket inverted: [%v, %v]", lower, upper)
+	}
+}
+
+func TestQuicksortByKey(t *testing.T) {
+	key := []float64{3, 1, 2, 0, -1}
+	idx := []int{0, 1, 2, 3, 4}
+	quicksortByKey(idx, key)
+	want := []int{4, 3, 1, 2, 0}
+	for i := range want {
+		if idx[i] != want[i] {
+			t.Fatalf("sorted order %v, want %v", idx, want)
+		}
+	}
+}

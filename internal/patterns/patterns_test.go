@@ -1,0 +1,122 @@
+package patterns
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/embed"
+	"repro/internal/topology"
+)
+
+func TestFFTStructure(t *testing.T) {
+	p := FFT(4)
+	if p.Endpoints() != 16 {
+		t.Fatalf("endpoints = %d", p.Endpoints())
+	}
+	// n lg n / 2 pairs at weight 2: 16*4/2 * 2 = 64.
+	if p.Messages() != 64 {
+		t.Fatalf("messages = %d, want 64", p.Messages())
+	}
+	if p.Rounds != 4 {
+		t.Fatalf("rounds = %d", p.Rounds)
+	}
+	// Every process exchanges with each of its lg n hypercube neighbours.
+	if !p.Graph.HasEdge(0, 1) || !p.Graph.HasEdge(0, 8) {
+		t.Fatal("missing FFT exchange edges")
+	}
+}
+
+func TestBitonicSupersetOfFFT(t *testing.T) {
+	b := BitonicSort(4)
+	f := FFT(4)
+	// Bitonic uses the same hypercube pairs but more rounds, so strictly
+	// more messages.
+	if b.Messages() <= f.Messages() {
+		t.Fatalf("bitonic %d messages <= fft %d", b.Messages(), f.Messages())
+	}
+	if b.Rounds != 10 { // lg n (lg n + 1)/2 = 4*5/2
+		t.Fatalf("rounds = %d, want 10", b.Rounds)
+	}
+}
+
+func TestParallelPrefixSparse(t *testing.T) {
+	p := ParallelPrefix(4)
+	// Tree pattern: n-1 pairs at weight 2.
+	if p.Messages() != 30 {
+		t.Fatalf("messages = %d, want 30", p.Messages())
+	}
+	if p.Rounds != 8 {
+		t.Fatalf("rounds = %d", p.Rounds)
+	}
+}
+
+func TestAllToAll(t *testing.T) {
+	p := AllToAll(8)
+	if p.Messages() != 56 { // 28 pairs * 2
+		t.Fatalf("messages = %d, want 56", p.Messages())
+	}
+}
+
+func TestMeasuredRespectsBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	hosts := []*topology.Machine{
+		topology.Mesh(2, 4),
+		topology.DeBruijn(4),
+		topology.LinearArray(16),
+	}
+	pats := []Pattern{FFT(4), ParallelPrefix(4), AllToAll(16)}
+	for _, h := range hosts {
+		for _, p := range pats {
+			vm := embed.IdentityMap(p.Endpoints())
+			bound := p.HostBound(h, vm, rng)
+			ticks := p.MeasureOn(h, vm, rng)
+			if float64(ticks) < bound {
+				t.Fatalf("%s on %s: measured %d below bound %.1f", p.Name, h.Name, ticks, bound)
+			}
+		}
+	}
+}
+
+// The FFT pattern's exchanges are exactly hypercube wires: the weak
+// hypercube runs it in ~lg n one-port rounds, while a linear array pays
+// distances up to n/2 per exchange — the algorithm-level face of the
+// paper's machine comparison.
+func TestFFTPrefersHypercubicHosts(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := FFT(6) // 64 processes
+	vm := embed.IdentityMap(64)
+	onCube := p.MeasureOn(topology.WeakHypercube(6), vm, rng)
+	onArr := p.MeasureOn(topology.LinearArray(64), vm, rng)
+	if onArr < 4*onCube {
+		t.Fatalf("FFT on array (%d ticks) should be >> hypercube (%d)", onArr, onCube)
+	}
+	// One-port hypercube needs at least one tick per of the 6 exchange
+	// dimensions in each direction.
+	if onCube < 6 {
+		t.Fatalf("hypercube FFT %d ticks implausibly low", onCube)
+	}
+}
+
+// The prefix pattern is cheap everywhere — it has only Θ(n) messages — so
+// even a linear array handles it within a small factor of a mesh.
+func TestPrefixIsEasyEverywhere(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := ParallelPrefix(5) // 32 processes
+	vm := embed.IdentityMap(32)
+	// Use exact-size hosts to keep the identity map valid.
+	onArr := p.MeasureOn(topology.LinearArray(32), vm, rng)
+	onDB := p.MeasureOn(topology.DeBruijn(5), vm, rng)
+	if onArr > 20*onDB {
+		t.Fatalf("prefix on array %d vs de Bruijn %d: too large a gap for Θ(n) traffic", onArr, onDB)
+	}
+}
+
+func TestMeasureOnBadMapPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	FFT(3).MeasureOn(topology.Ring(8), []int{0, 1}, rng)
+}

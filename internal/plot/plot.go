@@ -1,0 +1,88 @@
+// Package plot renders minimal ASCII log-log charts for the command-line
+// tools — enough to see Figure 1's crossover in a terminal without any
+// plotting dependency.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name   string
+	Marker byte
+	X, Y   []float64
+}
+
+// LogLog renders the series on a width x height character grid with
+// logarithmic axes. All points must be positive. Markers overwrite earlier
+// series at collisions; the legend lists name and marker.
+func LogLog(w io.Writer, title string, width, height int, series ...Series) error {
+	if width < 16 || height < 4 {
+		return fmt.Errorf("plot: grid %dx%d too small", width, height)
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("plot: series %q has %d x values and %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			if s.X[i] <= 0 || s.Y[i] <= 0 {
+				return fmt.Errorf("plot: series %q has non-positive point (%v, %v)", s.Name, s.X[i], s.Y[i])
+			}
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return fmt.Errorf("plot: no points")
+	}
+	lx, hx := math.Log(minX), math.Log(maxX)
+	ly, hy := math.Log(minY), math.Log(maxY)
+	if hx == lx {
+		hx = lx + 1
+	}
+	if hy == ly {
+		hy = ly + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range series {
+		for i := range s.X {
+			col := int(float64(width-1) * (math.Log(s.X[i]) - lx) / (hx - lx))
+			row := int(float64(height-1) * (math.Log(s.Y[i]) - ly) / (hy - ly))
+			grid[height-1-row][col] = s.Marker
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%10.1f ┤\n", maxY); err != nil {
+		return err
+	}
+	for _, row := range grid {
+		if _, err := fmt.Fprintf(w, "%10s │%s\n", "", string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%10.1f ┤%s\n", minY, strings.Repeat("─", width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%11s%-*.1f%10.1f\n", "", width-9, minX, maxX); err != nil {
+		return err
+	}
+	for _, s := range series {
+		if _, err := fmt.Fprintf(w, "  %c  %s\n", s.Marker, s.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

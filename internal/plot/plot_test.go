@@ -1,0 +1,66 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLogLogRendersMarkers(t *testing.T) {
+	var sb strings.Builder
+	err := LogLog(&sb, "test plot", 40, 10,
+		Series{Name: "load", Marker: '*', X: []float64{4, 16, 64, 256}, Y: []float64{256, 64, 16, 4}},
+		Series{Name: "comm", Marker: 'o', X: []float64{4, 16, 64, 256}, Y: []float64{32, 16, 8, 4}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"test plot", "*", "o", "load", "comm"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The load curve falls from top-left to bottom-right: the first grid
+	// row (highest y) should contain a '*' near the left.
+	lines := strings.Split(out, "\n")
+	var gridLines []string
+	for _, l := range lines {
+		if strings.Contains(l, "│") {
+			gridLines = append(gridLines, l)
+		}
+	}
+	if len(gridLines) != 10 {
+		t.Fatalf("grid has %d rows, want 10", len(gridLines))
+	}
+	if !strings.Contains(gridLines[0], "*") {
+		t.Errorf("top row lacks the load marker:\n%s", out)
+	}
+}
+
+func TestLogLogErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := LogLog(&sb, "t", 5, 2); err == nil {
+		t.Error("tiny grid accepted")
+	}
+	if err := LogLog(&sb, "t", 40, 10, Series{Name: "a", Marker: 'a', X: []float64{1}, Y: []float64{1, 2}}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := LogLog(&sb, "t", 40, 10, Series{Name: "a", Marker: 'a', X: []float64{0}, Y: []float64{1}}); err == nil {
+		t.Error("non-positive point accepted")
+	}
+	if err := LogLog(&sb, "t", 40, 10); err == nil {
+		t.Error("empty plot accepted")
+	}
+}
+
+func TestLogLogDegenerateRange(t *testing.T) {
+	var sb strings.Builder
+	// Single point: ranges collapse; must not divide by zero.
+	err := LogLog(&sb, "pt", 20, 5, Series{Name: "p", Marker: 'x', X: []float64{10}, Y: []float64{10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "x") {
+		t.Error("marker missing")
+	}
+}

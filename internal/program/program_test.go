@@ -1,0 +1,255 @@
+package program
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+)
+
+func TestFloodMaxConvergesAfterDiameter(t *testing.T) {
+	machines := []*topology.Machine{
+		topology.Ring(16),
+		topology.Mesh(2, 5),
+		topology.DeBruijn(5),
+		topology.Tree(4),
+	}
+	p := &FloodMax{}
+	for _, m := range machines {
+		diam, err := m.Graph.Diameter()
+		if err != nil {
+			t.Fatal(err)
+		}
+		states := Run(p, m, diam)
+		want := p.Expected(m.N())
+		for v, s := range states {
+			if s != want {
+				t.Fatalf("%s: processor %d holds %d, want %d after %d steps",
+					m.Name, v, s, want, diam)
+			}
+		}
+	}
+}
+
+func TestFloodMaxNotConvergedEarly(t *testing.T) {
+	// One step short of the diameter, at least one processor must still
+	// miss the max (the flood travels one hop per step).
+	m := topology.LinearArray(20)
+	p := &FloodMax{}
+	states := Run(p, m, 5)
+	want := p.Expected(20)
+	converged := true
+	for _, s := range states {
+		if s != want {
+			converged = false
+		}
+	}
+	if converged {
+		t.Fatal("flood converged faster than the diameter allows")
+	}
+}
+
+func TestFloodMaxCustomValues(t *testing.T) {
+	m := topology.Ring(6)
+	p := &FloodMax{Values: []Word{3, 9, 1, 4, 1, 5}}
+	states := Run(p, m, 3)
+	for v, s := range states {
+		if s != 9 {
+			t.Fatalf("processor %d holds %d, want 9", v, s)
+		}
+	}
+}
+
+func TestSumDiffusionConservesMass(t *testing.T) {
+	// Regular guests only (the share rule needs uniform degree).
+	machines := []*topology.Machine{
+		topology.Ring(24),
+		topology.Torus(2, 5),
+		topology.WrappedButterfly(3),
+		topology.CubeConnectedCycles(3),
+	}
+	p := SumDiffusion{}
+	for _, m := range machines {
+		states := Run(p, m, 10)
+		var got Word
+		for _, s := range states {
+			got += s
+		}
+		if want := p.TotalMass(m.N()); got != want {
+			t.Fatalf("%s: mass %d, want %d", m.Name, got, want)
+		}
+	}
+}
+
+func TestRunZeroStepsIsInit(t *testing.T) {
+	m := topology.Ring(8)
+	p := &FloodMax{}
+	states := Run(p, m, 0)
+	for v, s := range states {
+		if s != p.Init(v) {
+			t.Fatalf("zero-step run mutated state at %d", v)
+		}
+	}
+}
+
+func TestRunRejectsSwitchGuests(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Run(&FloodMax{}, topology.GlobalBus(8), 2)
+}
+
+// The headline property: the emulated run is bit-identical to the native
+// run while paying host costs.
+func TestEmulatedMatchesNative(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		guest, host *topology.Machine
+	}{
+		{topology.DeBruijn(5), topology.Mesh(2, 4)},
+		{topology.Mesh(2, 6), topology.LinearArray(9)},
+		{topology.Butterfly(3), topology.Tree(4)},
+	}
+	progs := []Program{&FloodMax{}, ParityWave{}}
+	for _, c := range cases {
+		for _, p := range progs {
+			steps := 6
+			native := Run(p, c.guest, steps)
+			emu := RunEmulated(p, c.guest, c.host, steps, rng)
+			for v := range native {
+				if native[v] != emu.States[v] {
+					t.Fatalf("%s on %s, %s: state %d differs (%d vs %d)",
+						c.guest.Name, c.host.Name, p.Name(), v, native[v], emu.States[v])
+				}
+			}
+			if emu.HostTicks != emu.ComputeTicks+emu.RouteTicks {
+				t.Fatal("tick split inconsistent")
+			}
+			load := float64(c.guest.N()) / float64(c.host.N())
+			if emu.Slowdown < load {
+				t.Fatalf("slowdown %.1f below load bound %.1f", emu.Slowdown, load)
+			}
+		}
+	}
+}
+
+func TestEmulatedSlowdownTracksHostQuality(t *testing.T) {
+	// Same guest and step count: a linear-array host must be slower than a
+	// mesh host of the same size.
+	rng := rand.New(rand.NewSource(2))
+	guest := topology.DeBruijn(6)
+	meshRes := RunEmulated(&FloodMax{}, guest, topology.Mesh(2, 4), 4, rng)
+	arrRes := RunEmulated(&FloodMax{}, guest, topology.LinearArray(16), 4, rng)
+	if arrRes.Slowdown <= meshRes.Slowdown {
+		t.Fatalf("array host (%.1f) should be slower than mesh host (%.1f)",
+			arrRes.Slowdown, meshRes.Slowdown)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"floodmax", "sumdiffusion", "paritywave"} {
+		p, err := ByName(name)
+		if err != nil || p.Name() != name {
+			t.Fatalf("ByName(%q) = %v, %v", name, p, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown program accepted")
+	}
+}
+
+// Property: emulated equals native for random ring sizes, hosts, and step
+// counts, for every library program.
+func TestPropertyEmulationFaithful(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		guest := topology.Ring(8 + rng.Intn(24))
+		host := topology.Ring(3 + rng.Intn(6))
+		steps := 1 + rng.Intn(5)
+		for _, name := range []string{"floodmax", "sumdiffusion", "paritywave"} {
+			p, err := ByName(name)
+			if err != nil {
+				return false
+			}
+			native := Run(p, guest, steps)
+			emu := RunEmulated(p, guest, host, steps, rng)
+			for v := range native {
+				if native[v] != emu.States[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOddEvenSortNative(t *testing.T) {
+	n := 16
+	m := topology.LinearArray(n)
+	p := &OddEvenSort{N: n}
+	states := Run(p, m, n)
+	if !Sorted(states) {
+		t.Fatalf("not sorted after %d rounds: %v", n, states)
+	}
+	// The multiset must be preserved: compare against sorted init values.
+	init := make([]Word, n)
+	for v := 0; v < n; v++ {
+		init[v] = p.Init(v)
+	}
+	counts := map[Word]int{}
+	for _, w := range init {
+		counts[w]++
+	}
+	for _, w := range states {
+		counts[w]--
+	}
+	for w, c := range counts {
+		if c != 0 {
+			t.Fatalf("value %d count off by %d", w, c)
+		}
+	}
+}
+
+func TestOddEvenSortCustomValues(t *testing.T) {
+	m := topology.LinearArray(5)
+	p := &OddEvenSort{Values: []Word{5, 1, 4, 2, 3}}
+	states := Run(p, m, 5)
+	want := []Word{1, 2, 3, 4, 5}
+	for i := range want {
+		if states[i] != want[i] {
+			t.Fatalf("states = %v, want %v", states, want)
+		}
+	}
+}
+
+func TestOddEvenSortNotSortedEarly(t *testing.T) {
+	n := 24
+	m := topology.LinearArray(n)
+	p := &OddEvenSort{N: n}
+	if Sorted(Run(p, m, 2)) {
+		t.Fatal("sorted suspiciously early")
+	}
+}
+
+func TestOddEvenSortEmulatedMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 16
+	guest := topology.LinearArray(n)
+	p := &OddEvenSort{N: n}
+	native := Run(p, guest, n)
+	emu := RunEmulated(p, guest, topology.Ring(4), n, rng)
+	for v := range native {
+		if native[v] != emu.States[v] {
+			t.Fatalf("emulated sort diverged at %d", v)
+		}
+	}
+	if !Sorted(emu.States) {
+		t.Fatal("emulated output unsorted")
+	}
+}

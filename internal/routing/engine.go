@@ -1,0 +1,180 @@
+// Package routing simulates synchronous store-and-forward packet routing on
+// a network machine, the operational model behind the paper's bandwidth
+// definition: β(M, π) is the expected average delivery rate m/r(m) when m
+// messages drawn from traffic distribution π are routed on M.
+//
+// Model (one tick = one machine step):
+//   - each undirected wire of multiplicity w carries up to w messages per
+//     tick in each direction;
+//   - a vertex with a forwarding cap (the global-bus hub, every vertex of
+//     the weak one-port hypercube) transmits at most that many messages per
+//     tick in total;
+//   - queues are unbounded; a message blocked on a full wire waits, while
+//     later messages bound for other wires may pass it (virtual channels).
+//
+// Routing is greedy hop-by-hop along breadth-first shortest paths with
+// random tie-breaking, optionally Valiant-style through a random
+// intermediate vertex. On the machines considered this meets the
+// O(congestion + dilation) bound of the universal routing scheme the paper
+// cites, which is all the Θ-level measurements need.
+package routing
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Strategy selects how routes are chosen.
+type Strategy int
+
+const (
+	// Greedy routes every message along shortest paths to its destination
+	// with random tie-breaking per hop.
+	Greedy Strategy = iota
+	// Valiant routes each message to a uniformly random intermediate
+	// processor first, then to its destination — the classic two-phase
+	// scheme that turns worst-case permutations into average-case traffic.
+	Valiant
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Greedy:
+		return "greedy"
+	case Valiant:
+		return "valiant"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Discipline selects the per-vertex queue service order.
+type Discipline int
+
+const (
+	// FIFO serves each vertex queue in arrival order.
+	FIFO Discipline = iota
+	// FarthestFirst serves packets with the most remaining distance first —
+	// the classic priority rule that keeps long-haul packets from starving
+	// behind local churn.
+	FarthestFirst
+)
+
+func (d Discipline) String() string {
+	switch d {
+	case FIFO:
+		return "fifo"
+	case FarthestFirst:
+		return "farthest-first"
+	default:
+		return fmt.Sprintf("Discipline(%d)", int(d))
+	}
+}
+
+// Engine simulates packet routing on one machine. It caches per-destination
+// distance fields, so reuse one Engine across batches on the same machine.
+type Engine struct {
+	M          *topology.Machine
+	Strategy   Strategy
+	Discipline Discipline
+
+	distTo map[int][]int // destination -> BFS distance field
+	nbrs   [][]neighbor  // sorted adjacency, for deterministic rng use
+}
+
+type neighbor struct {
+	v    int
+	mult int64
+}
+
+// NewEngine returns an engine for m using the given strategy.
+func NewEngine(m *topology.Machine, strategy Strategy) *Engine {
+	e := &Engine{M: m, Strategy: strategy, distTo: make(map[int][]int)}
+	g := m.Graph
+	e.nbrs = make([][]neighbor, g.N())
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) { // sorted
+			e.nbrs[u] = append(e.nbrs[u], neighbor{v: v, mult: g.Multiplicity(u, v)})
+		}
+	}
+	return e
+}
+
+func (e *Engine) dist(dst int) []int {
+	if d, ok := e.distTo[dst]; ok {
+		return d
+	}
+	d := e.M.Graph.BFS(dst)
+	e.distTo[dst] = d
+	return d
+}
+
+// Stats reports the outcome of routing one batch.
+type Stats struct {
+	Messages  int     // batch size
+	Ticks     int     // time to deliver the whole batch
+	TotalHops int64   // wire traversals summed over messages
+	MaxQueue  int     // largest per-vertex queue observed
+	Rate      float64 // Messages / Ticks — the operational bandwidth sample
+}
+
+type packet struct {
+	at       int // current vertex
+	dst      int // current target (intermediate during Valiant phase 1)
+	finalDst int
+	phase1   bool // still heading for the Valiant intermediate
+}
+
+// Route injects the batch at tick 0 (every message waits at its source) and
+// runs the machine until all messages are delivered, returning the stats.
+// Messages whose source equals destination are rejected with a panic — the
+// traffic package never produces them.
+func (e *Engine) Route(batch []traffic.Message, rng *rand.Rand) Stats {
+	if len(batch) == 0 {
+		return Stats{}
+	}
+	s := e.NewSim(rng)
+	s.Inject(batch)
+	limit := 200*len(batch) + 100*e.M.Graph.N() + 1000
+	for s.InFlight() > 0 {
+		if s.Now() > limit {
+			panic(fmt.Sprintf("routing: no progress after %d ticks (%d messages left) on %s",
+				s.Now(), s.InFlight(), e.M.Name))
+		}
+		s.Step()
+	}
+	return Stats{
+		Messages:  len(batch),
+		Ticks:     s.Now(),
+		TotalHops: s.totalHops,
+		MaxQueue:  s.MaxQueue(),
+		Rate:      float64(len(batch)) / float64(s.Now()),
+	}
+}
+
+// pickHop chooses a neighbour of u one step closer to dst whose wire still
+// has capacity this tick, uniformly among the available choices, or -1 if
+// all downhill wires are saturated.
+func (e *Engine) pickHop(u, dst int, edgeUsed map[int64]int64, rng *rand.Rand) int {
+	d := e.dist(dst)
+	n := e.M.Graph.N()
+	best := -1
+	count := 0
+	for _, nb := range e.nbrs[u] {
+		if d[nb.v] != d[u]-1 {
+			continue
+		}
+		if edgeUsed[int64(u)*int64(n)+int64(nb.v)] >= nb.mult {
+			continue
+		}
+		// Reservoir-sample uniformly among available downhill neighbours.
+		count++
+		if rng.Intn(count) == 0 {
+			best = nb.v
+		}
+	}
+	return best
+}

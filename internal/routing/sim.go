@@ -1,0 +1,292 @@
+package routing
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/traffic"
+)
+
+// Sim is an incremental simulation: messages can be injected while the
+// machine runs, which is what the open-loop (steady-state) bandwidth
+// measurements need. Route is a batch wrapper around it.
+type Sim struct {
+	eng *Engine
+	rng *rand.Rand
+
+	queues   [][]simPacket
+	active   []int
+	inActive []bool
+	edgeUsed map[int64]int64
+	arrivals []simPacket
+
+	now int // current tick
+
+	// Counters.
+	injected   int
+	delivered  int
+	totalHops  int64
+	latencySum int64
+	latencies  []int
+	maxQueue   int
+}
+
+type simPacket struct {
+	packet
+	born int
+}
+
+// NewSim returns a fresh simulation on the engine's machine.
+func (e *Engine) NewSim(rng *rand.Rand) *Sim {
+	n := e.M.Graph.N()
+	return &Sim{
+		eng:      e,
+		rng:      rng,
+		queues:   make([][]simPacket, n),
+		inActive: make([]bool, n),
+		edgeUsed: make(map[int64]int64),
+	}
+}
+
+// Now returns the current tick.
+func (s *Sim) Now() int { return s.now }
+
+// InFlight returns the number of undelivered messages.
+func (s *Sim) InFlight() int { return s.injected - s.delivered }
+
+// Delivered returns the number of delivered messages.
+func (s *Sim) Delivered() int { return s.delivered }
+
+// Injected returns the number of injected messages.
+func (s *Sim) Injected() int { return s.injected }
+
+// MeanLatency returns the average injection-to-delivery time over all
+// delivered messages (0 if none).
+func (s *Sim) MeanLatency() float64 {
+	if s.delivered == 0 {
+		return 0
+	}
+	return float64(s.latencySum) / float64(s.delivered)
+}
+
+// MaxQueue returns the largest per-vertex queue seen so far.
+func (s *Sim) MaxQueue() int { return s.maxQueue }
+
+// LatencyPercentile returns the p-th percentile (0 < p <= 1) of delivery
+// latencies observed so far, or 0 if nothing was delivered.
+func (s *Sim) LatencyPercentile(p float64) int {
+	if len(s.latencies) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		p = 0.01
+	}
+	if p > 1 {
+		p = 1
+	}
+	sorted := make([]int, len(s.latencies))
+	copy(sorted, s.latencies)
+	sort.Ints(sorted)
+	idx := int(p*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
+func (s *Sim) push(p simPacket) {
+	if len(s.queues[p.at]) == 0 && !s.inActive[p.at] {
+		s.inActive[p.at] = true
+		s.active = append(s.active, p.at)
+	}
+	s.queues[p.at] = append(s.queues[p.at], p)
+}
+
+// Inject adds messages at the current tick. Sources and destinations must
+// be processors; self-messages are rejected.
+func (s *Sim) Inject(batch []traffic.Message) {
+	for _, m := range batch {
+		if m.Src == m.Dst {
+			panic(fmt.Sprintf("routing: self-message %+v", m))
+		}
+		if !s.eng.M.IsProcessor(m.Src) || !s.eng.M.IsProcessor(m.Dst) {
+			panic(fmt.Sprintf("routing: message %+v endpoints must be processors", m))
+		}
+		p := simPacket{packet: packet{at: m.Src, dst: m.Dst, finalDst: m.Dst}, born: s.now}
+		if s.eng.Strategy == Valiant {
+			mid := s.rng.Intn(s.eng.M.N())
+			if mid != m.Src && mid != m.Dst {
+				p.dst = mid
+				p.phase1 = true
+			}
+		}
+		s.injected++
+		s.push(p)
+	}
+}
+
+// Step advances the machine one tick and returns the number of messages
+// delivered during it.
+func (s *Sim) Step() int {
+	s.now++
+	for k := range s.edgeUsed {
+		delete(s.edgeUsed, k)
+	}
+	s.arrivals = s.arrivals[:0]
+	n := s.eng.M.Graph.N()
+	s.rng.Shuffle(len(s.active), func(i, j int) { s.active[i], s.active[j] = s.active[j], s.active[i] })
+	for _, u := range s.active {
+		q := s.queues[u]
+		if len(q) > s.maxQueue {
+			s.maxQueue = len(q)
+		}
+		if s.eng.Discipline == FarthestFirst && len(q) > 1 {
+			// Stable sort by remaining distance, descending.
+			sort.SliceStable(q, func(i, j int) bool {
+				return s.eng.dist(q[i].dst)[u] > s.eng.dist(q[j].dst)[u]
+			})
+		}
+		capLeft := s.eng.M.Cap(u)
+		kept := q[:0]
+		for qi, p := range q {
+			if capLeft == 0 {
+				kept = append(kept, q[qi:]...)
+				break
+			}
+			h := s.eng.pickHop(u, p.dst, s.edgeUsed, s.rng)
+			if h < 0 {
+				kept = append(kept, p)
+				continue
+			}
+			s.edgeUsed[int64(u)*int64(n)+int64(h)]++
+			if capLeft > 0 {
+				capLeft--
+			}
+			p.at = h
+			s.totalHops++
+			s.arrivals = append(s.arrivals, p)
+		}
+		s.queues[u] = kept
+	}
+	na := s.active[:0]
+	for _, u := range s.active {
+		if len(s.queues[u]) > 0 {
+			na = append(na, u)
+		} else {
+			s.inActive[u] = false
+		}
+	}
+	s.active = na
+	deliveredNow := 0
+	for _, p := range s.arrivals {
+		if p.at == p.dst {
+			if p.phase1 {
+				p.phase1 = false
+				p.dst = p.finalDst
+				s.push(p)
+				continue
+			}
+			s.delivered++
+			s.latencySum += int64(s.now - p.born)
+			s.latencies = append(s.latencies, s.now-p.born)
+			deliveredNow++
+			continue
+		}
+		s.push(p)
+	}
+	return deliveredNow
+}
+
+// OpenLoopResult reports a steady-state run at a fixed injection rate.
+type OpenLoopResult struct {
+	Rate        float64 // requested injection rate (messages/tick)
+	Ticks       int
+	Injected    int
+	Delivered   int
+	Throughput  float64 // delivered per tick over the measurement window
+	MeanLatency float64
+	P95Latency  int // 95th percentile delivery latency over the whole run
+	Backlog     int // messages still in flight at the end
+	// Stable is true when the delivery rate kept up with injection: the
+	// final backlog is at most a small multiple of the per-tick injection.
+	Stable bool
+}
+
+// OpenLoop injects messages from dist at the given rate (messages per tick,
+// fractional rates accumulate) for the given number of ticks and reports
+// the achieved steady-state throughput. The first quarter of the run is
+// treated as warm-up and excluded from the throughput/latency window.
+func (e *Engine) OpenLoop(dist traffic.Distribution, rate float64, ticks int, rng *rand.Rand) OpenLoopResult {
+	if rate <= 0 || ticks < 8 {
+		panic(fmt.Sprintf("routing: bad open-loop parameters rate=%v ticks=%d", rate, ticks))
+	}
+	s := e.NewSim(rng)
+	warmup := ticks / 4
+	var acc float64
+	deliveredWindow := 0
+	var latWindowSum int64
+	latWindowCount := 0
+	for t := 0; t < ticks; t++ {
+		acc += rate
+		k := int(acc)
+		acc -= float64(k)
+		if k > 0 {
+			s.Inject(traffic.Batch(dist, k, rng))
+		}
+		before := s.latencySum
+		beforeCount := s.delivered
+		d := s.Step()
+		if t >= warmup {
+			deliveredWindow += d
+			latWindowSum += s.latencySum - before
+			latWindowCount += s.delivered - beforeCount
+		}
+	}
+	res := OpenLoopResult{
+		Rate:      rate,
+		Ticks:     ticks,
+		Injected:  s.Injected(),
+		Delivered: s.Delivered(),
+		Backlog:   s.InFlight(),
+	}
+	window := ticks - warmup
+	if window > 0 {
+		res.Throughput = float64(deliveredWindow) / float64(window)
+	}
+	if latWindowCount > 0 {
+		res.MeanLatency = float64(latWindowSum) / float64(latWindowCount)
+	}
+	res.P95Latency = s.LatencyPercentile(0.95)
+	// Stability: backlog bounded by a few ticks' worth of injections.
+	res.Stable = float64(res.Backlog) <= 8*rate+16
+	return res
+}
+
+// SaturationRate binary-searches the largest stable injection rate in
+// (0, upper] using runs of the given length, returning the achieved
+// throughput at that rate — the steady-state (open-loop) estimate of β.
+// Typical use: upper = 2*E(G), ticks = 400, 12 iterations.
+func (e *Engine) SaturationRate(dist traffic.Distribution, upper float64, ticks, iters int, rng *rand.Rand) float64 {
+	if upper <= 0 {
+		panic("routing: non-positive upper bound")
+	}
+	lo, hi := 0.0, upper
+	best := 0.0
+	for i := 0; i < iters; i++ {
+		mid := (lo + hi) / 2
+		if mid <= 0 {
+			break
+		}
+		res := e.OpenLoop(dist, mid, ticks, rng)
+		if res.Stable {
+			lo = mid
+			if res.Throughput > best {
+				best = res.Throughput
+			}
+		} else {
+			hi = mid
+		}
+	}
+	return best
+}

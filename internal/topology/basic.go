@@ -1,0 +1,130 @@
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/multigraph"
+)
+
+// LinearArray returns the n-processor linear array (path).
+func LinearArray(n int) *Machine {
+	if n < 1 {
+		panic(fmt.Sprintf("topology: LinearArray size %d < 1", n))
+	}
+	g := multigraph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddSimpleEdge(i, i+1)
+	}
+	m := &Machine{Family: LinearArrayFamily, Name: fmt.Sprintf("LinearArray[%d]", n), Graph: g, Procs: n}
+	return m.validate()
+}
+
+// Ring returns the n-processor ring (cycle).
+func Ring(n int) *Machine {
+	if n < 3 {
+		panic(fmt.Sprintf("topology: Ring size %d < 3", n))
+	}
+	g := multigraph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddSimpleEdge(i, (i+1)%n)
+	}
+	m := &Machine{Family: RingFamily, Name: fmt.Sprintf("Ring[%d]", n), Graph: g, Procs: n}
+	return m.validate()
+}
+
+// GlobalBus returns n processors attached to a single shared bus. The bus
+// is modelled as an extra hub vertex (index n) with forwarding capacity 1:
+// every message crosses the hub, so the machine delivers Θ(1) messages per
+// tick regardless of n — the paper's β(GlobalBus) = Θ(1).
+func GlobalBus(n int) *Machine {
+	if n < 2 {
+		panic(fmt.Sprintf("topology: GlobalBus size %d < 2", n))
+	}
+	g := multigraph.New(n + 1)
+	hub := n
+	for i := 0; i < n; i++ {
+		g.AddSimpleEdge(i, hub)
+	}
+	m := &Machine{
+		Family:    GlobalBusFamily,
+		Name:      fmt.Sprintf("GlobalBus[%d]", n),
+		Graph:     g,
+		Procs:     n,
+		VertexCap: map[int]int64{hub: 1},
+	}
+	return m.validate()
+}
+
+// completeBinaryTree adds a complete binary tree with the given number of
+// levels to g, rooted at vertex base, using the heap layout: node i has
+// children 2i+1+base and 2i+2+base (relative indices). It returns the
+// number of vertices used (2^levels - 1).
+func completeBinaryTree(g *multigraph.Multigraph, base, levels int) int {
+	size := (1 << levels) - 1
+	for i := 0; 2*i+2 < size; i++ {
+		g.AddSimpleEdge(base+i, base+2*i+1)
+		g.AddSimpleEdge(base+i, base+2*i+2)
+	}
+	return size
+}
+
+// Tree returns the complete binary tree machine with the given number of
+// levels (2^levels - 1 processors, all tree nodes are processors).
+func Tree(levels int) *Machine {
+	if levels < 1 {
+		panic(fmt.Sprintf("topology: Tree levels %d < 1", levels))
+	}
+	n := (1 << levels) - 1
+	g := multigraph.New(n)
+	completeBinaryTree(g, 0, levels)
+	m := &Machine{Family: TreeFamily, Name: fmt.Sprintf("Tree[%d]", n), Graph: g, Procs: n, Side: levels}
+	return m.validate()
+}
+
+// XTree returns the X-tree machine: a complete binary tree with `levels`
+// levels plus horizontal edges joining left-to-right neighbours within each
+// level. 2^levels - 1 processors.
+func XTree(levels int) *Machine {
+	if levels < 1 {
+		panic(fmt.Sprintf("topology: XTree levels %d < 1", levels))
+	}
+	n := (1 << levels) - 1
+	g := multigraph.New(n)
+	completeBinaryTree(g, 0, levels)
+	// Heap layout: level l spans indices [2^l - 1, 2^{l+1} - 2].
+	for l := 1; l < levels; l++ {
+		lo := (1 << l) - 1
+		hi := (1 << (l + 1)) - 2
+		for i := lo; i < hi; i++ {
+			g.AddSimpleEdge(i, i+1)
+		}
+	}
+	m := &Machine{Family: XTreeFamily, Name: fmt.Sprintf("X-Tree[%d]", n), Graph: g, Procs: n, Side: levels}
+	return m.validate()
+}
+
+// WeakPPN returns the weak parallel prefix network: n leaf processors
+// (n a power of two) under a complete binary tree of combining switches.
+// Only the leaves are processors; point-to-point traffic serializes through
+// the upper tree, so β = Θ(1) while the prefix latency λ = Θ(lg n).
+func WeakPPN(n int) *Machine {
+	if n < 2 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("topology: WeakPPN size %d must be a power of two >= 2", n))
+	}
+	// Leaves are 0..n-1; switches n..2n-2. Switch layout: a heap of n-1
+	// internal nodes; internal heap node i (0-based) is vertex n+i; its
+	// children are heap nodes 2i+1, 2i+2 when internal, else leaves.
+	g := multigraph.New(2*n - 1)
+	internal := n - 1
+	for i := 0; i < internal; i++ {
+		for _, c := range []int{2*i + 1, 2*i + 2} {
+			if c < internal {
+				g.AddSimpleEdge(n+i, n+c)
+			} else {
+				g.AddSimpleEdge(n+i, c-internal) // leaf processor
+			}
+		}
+	}
+	m := &Machine{Family: WeakPPNFamily, Name: fmt.Sprintf("WeakPPN[%d]", n), Graph: g, Procs: n}
+	return m.validate()
+}

@@ -1,0 +1,80 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Info is a measured structural summary of a machine instance.
+type Info struct {
+	Name       string
+	Family     Family
+	Procs      int
+	Vertices   int
+	Wires      int64
+	MinDegree  int64
+	MaxDegree  int64
+	Diameter   int
+	AvgDist    float64
+	BisectionW int64 // heuristic upper estimate
+	Capped     int   // vertices with forwarding caps
+}
+
+// Describe measures the structural summary of m. For graphs above ~1500
+// vertices the diameter and average distance are sampled rather than exact.
+func Describe(m *Machine, rng *rand.Rand) (Info, error) {
+	info := Info{
+		Name:     m.Name,
+		Family:   m.Family,
+		Procs:    m.N(),
+		Vertices: m.Vertices(),
+		Wires:    m.Graph.E(),
+		Capped:   len(m.VertexCap),
+	}
+	info.MinDegree = int64(1) << 62
+	for v := 0; v < m.Graph.N(); v++ {
+		d := m.Graph.Degree(v)
+		if d < info.MinDegree {
+			info.MinDegree = d
+		}
+		if d > info.MaxDegree {
+			info.MaxDegree = d
+		}
+	}
+	var err error
+	if m.Graph.N() <= 1500 {
+		info.Diameter, err = m.Graph.Diameter()
+	} else {
+		info.Diameter, err = m.Graph.EstimateDiameter(4, rng)
+	}
+	if err != nil {
+		return Info{}, fmt.Errorf("topology: describe %s: %w", m.Name, err)
+	}
+	samples := 64
+	if m.Graph.N() < samples {
+		samples = m.Graph.N()
+	}
+	info.AvgDist, err = m.Graph.SampleAverageDistance(samples, rng)
+	if err != nil {
+		return Info{}, fmt.Errorf("topology: describe %s: %w", m.Name, err)
+	}
+	info.BisectionW = m.Graph.EstimateBisection(4, rng)
+	return info, nil
+}
+
+// String renders the summary as a one-machine report.
+func (i Info) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", i.Name)
+	fmt.Fprintf(&sb, "  family:     %v\n", i.Family)
+	fmt.Fprintf(&sb, "  processors: %d (of %d vertices)\n", i.Procs, i.Vertices)
+	fmt.Fprintf(&sb, "  wires:      %d\n", i.Wires)
+	fmt.Fprintf(&sb, "  degree:     %d..%d\n", i.MinDegree, i.MaxDegree)
+	fmt.Fprintf(&sb, "  diameter:   %d (avg distance %.2f)\n", i.Diameter, i.AvgDist)
+	fmt.Fprintf(&sb, "  bisection:  <= %d (heuristic)\n", i.BisectionW)
+	if i.Capped > 0 {
+		fmt.Fprintf(&sb, "  capped:     %d vertices with forwarding limits\n", i.Capped)
+	}
+	return sb.String()
+}

@@ -1,0 +1,154 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/multigraph"
+)
+
+// Fault injection: degraded copies of a machine with wires or processors
+// knocked out. The multibutterfly's expander splitters make it robust to
+// faults that disconnect or strangle an ordinary butterfly — an effect the
+// fault-tolerance experiments measure directly.
+
+// DeleteRandomEdges returns a copy of m with each distinct wire removed
+// independently with probability frac (all parallel wires of the pair go
+// together). The name gains a "/faults" suffix. The result may be
+// disconnected; callers that need connectivity must check.
+func DeleteRandomEdges(m *Machine, frac float64, rng *rand.Rand) *Machine {
+	if frac < 0 || frac >= 1 {
+		panic(fmt.Sprintf("topology: fault fraction %v out of [0,1)", frac))
+	}
+	g := m.Graph.Clone()
+	for _, e := range m.Graph.Edges() {
+		if rng.Float64() < frac {
+			g.RemoveEdge(e.U, e.V, e.Mult)
+		}
+	}
+	out := *m
+	out.Graph = g
+	out.Name = m.Name + "/faults"
+	return &out
+}
+
+// DeleteRandomProcessors returns a copy of m with `count` random processors
+// failed: a failed processor keeps its vertex (indices are stable) but
+// loses all its wires, and Faulty reports it. Switch vertices never fail.
+func DeleteRandomProcessors(m *Machine, count int, rng *rand.Rand) (*Machine, map[int]bool) {
+	if count < 0 || count >= m.N() {
+		panic(fmt.Sprintf("topology: cannot fail %d of %d processors", count, m.N()))
+	}
+	g := m.Graph.Clone()
+	failed := make(map[int]bool, count)
+	perm := rng.Perm(m.N())
+	for _, v := range perm[:count] {
+		failed[v] = true
+		for _, u := range g.Neighbors(v) {
+			g.RemoveEdge(v, u, g.Multiplicity(v, u))
+		}
+	}
+	out := *m
+	out.Graph = g
+	out.Name = m.Name + "/faults"
+	return &out, failed
+}
+
+// LargestComponentFraction returns the fraction of m's processors inside
+// the largest connected component of the (possibly degraded) graph,
+// ignoring the given failed set. 1.0 means all surviving processors still
+// talk to each other.
+func LargestComponentFraction(m *Machine, failed map[int]bool) float64 {
+	surviving := 0
+	for v := 0; v < m.N(); v++ {
+		if !failed[v] {
+			surviving++
+		}
+	}
+	if surviving == 0 {
+		return 0
+	}
+	best := 0
+	for _, comp := range m.Graph.Components() {
+		count := 0
+		for _, v := range comp {
+			if v < m.N() && !failed[v] {
+				count++
+			}
+		}
+		if count > best {
+			best = count
+		}
+	}
+	return float64(best) / float64(surviving)
+}
+
+// SurvivingSubmachine extracts the largest component of a degraded machine
+// as a standalone machine (processors renumbered 0..k-1), for running
+// measurements on what's left. Vertex caps are remapped; switch vertices
+// outside the component are dropped.
+func SurvivingSubmachine(m *Machine, failed map[int]bool) *Machine {
+	var bestComp []int
+	bestCount := -1
+	for _, comp := range m.Graph.Components() {
+		count := 0
+		for _, v := range comp {
+			if v < m.N() && !failed[v] {
+				count++
+			}
+		}
+		if count > bestCount {
+			bestCount = count
+			bestComp = comp
+		}
+	}
+	// Renumber: surviving processors first, then switches, preserving the
+	// processors-are-a-prefix invariant.
+	oldToNew := make(map[int]int, len(bestComp))
+	procs := 0
+	for _, v := range bestComp {
+		if v < m.N() && !failed[v] {
+			oldToNew[v] = procs
+			procs++
+		}
+	}
+	next := procs
+	for _, v := range bestComp {
+		if _, ok := oldToNew[v]; !ok {
+			oldToNew[v] = next
+			next++
+		}
+	}
+	g := multigraph.New(next)
+	for _, v := range bestComp {
+		for _, u := range m.Graph.Neighbors(v) {
+			nu, ok := oldToNew[u]
+			if !ok {
+				continue
+			}
+			nv := oldToNew[v]
+			if nv < nu {
+				g.AddEdge(nv, nu, m.Graph.Multiplicity(v, u))
+			}
+		}
+	}
+	var caps map[int]int64
+	if m.VertexCap != nil {
+		caps = make(map[int]int64)
+		for v, c := range m.VertexCap {
+			if nv, ok := oldToNew[v]; ok {
+				caps[nv] = c
+			}
+		}
+	}
+	out := &Machine{
+		Family:    m.Family,
+		Name:      m.Name + "/survivor",
+		Graph:     g,
+		Procs:     procs,
+		Dim:       m.Dim,
+		Side:      m.Side,
+		VertexCap: caps,
+	}
+	return out.validate()
+}

@@ -1,0 +1,129 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDeleteRandomEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := Mesh(2, 8)
+	d := DeleteRandomEdges(m, 0.2, rng)
+	if d.Graph.E() >= m.Graph.E() {
+		t.Fatalf("no edges deleted: %d vs %d", d.Graph.E(), m.Graph.E())
+	}
+	if m.Graph.E() != 112 {
+		t.Fatalf("original mutated: E=%d", m.Graph.E())
+	}
+	if d.Name != "Mesh2[64]/faults" {
+		t.Fatalf("name %q", d.Name)
+	}
+	// Roughly 20% of wires should be gone.
+	lost := float64(m.Graph.E()-d.Graph.E()) / float64(m.Graph.E())
+	if lost < 0.05 || lost > 0.4 {
+		t.Fatalf("lost fraction %.2f, want ~0.2", lost)
+	}
+}
+
+func TestDeleteRandomEdgesZeroFraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := Ring(10)
+	d := DeleteRandomEdges(m, 0, rng)
+	if d.Graph.E() != m.Graph.E() {
+		t.Fatal("edges deleted at frac 0")
+	}
+}
+
+func TestDeleteRandomEdgesBadFracPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	DeleteRandomEdges(Ring(8), 1.0, rand.New(rand.NewSource(3)))
+}
+
+func TestDeleteRandomProcessors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := Mesh(2, 6)
+	d, failed := DeleteRandomProcessors(m, 5, rng)
+	if len(failed) != 5 {
+		t.Fatalf("failed %d processors, want 5", len(failed))
+	}
+	for v := range failed {
+		if d.Graph.Degree(v) != 0 {
+			t.Fatalf("failed processor %d still wired", v)
+		}
+	}
+}
+
+func TestLargestComponentFraction(t *testing.T) {
+	m := LinearArray(10)
+	// Cut the path in the middle: components of 5 and 5.
+	d := &Machine{Family: m.Family, Name: m.Name, Graph: m.Graph.Clone(), Procs: m.Procs}
+	d.Graph.RemoveEdge(4, 5, 1)
+	if got := LargestComponentFraction(d, nil); got != 0.5 {
+		t.Fatalf("fraction = %v, want 0.5", got)
+	}
+	if got := LargestComponentFraction(m, nil); got != 1.0 {
+		t.Fatalf("intact fraction = %v", got)
+	}
+}
+
+func TestSurvivingSubmachine(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := Mesh(2, 6)
+	d, failed := DeleteRandomProcessors(m, 4, rng)
+	s := SurvivingSubmachine(d, failed)
+	if s.N() < 20 || s.N() > 32 {
+		t.Fatalf("survivor has %d processors", s.N())
+	}
+	if !s.Graph.Connected() {
+		t.Fatal("survivor disconnected")
+	}
+	// The survivor preserves the processors-are-a-prefix invariant.
+	for v := 0; v < s.N(); v++ {
+		if !s.IsProcessor(v) {
+			t.Fatalf("vertex %d should be a processor", v)
+		}
+	}
+}
+
+func TestSurvivingSubmachineKeepsCaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := WeakHypercube(4)
+	d := DeleteRandomEdges(m, 0.1, rng)
+	s := SurvivingSubmachine(d, nil)
+	// Caps must survive the renumbering: every processor still capped at 1.
+	for v := 0; v < s.N(); v++ {
+		if s.Cap(v) != 1 {
+			t.Fatalf("survivor cap(%d) = %d, want 1", v, s.Cap(v))
+		}
+	}
+}
+
+// The multibutterfly's claim: under the same edge-fault rate it keeps far
+// more of its processors in one component than the butterfly, whose single
+// switch per (row-prefix, level) is a single point of failure.
+func TestMultibutterflyFaultToleranceBeatsButterfly(t *testing.T) {
+	const frac = 0.3
+	const trials = 20
+	bflyTotal, mbflyTotal := 0.0, 0.0
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(100 + trial)))
+		bfly := Butterfly(5)
+		mbfly := Multibutterfly(5, 2, rng)
+		db := DeleteRandomEdges(bfly, frac, rng)
+		dm := DeleteRandomEdges(mbfly, frac, rng)
+		bflyTotal += LargestComponentFraction(db, nil)
+		mbflyTotal += LargestComponentFraction(dm, nil)
+	}
+	bflyAvg := bflyTotal / trials
+	mbflyAvg := mbflyTotal / trials
+	if mbflyAvg <= bflyAvg {
+		t.Fatalf("multibutterfly survival %.3f not above butterfly %.3f", mbflyAvg, bflyAvg)
+	}
+	if mbflyAvg < 0.95 {
+		t.Fatalf("multibutterfly survival %.3f too low at %d%% faults", mbflyAvg, int(frac*100))
+	}
+}

@@ -1,0 +1,175 @@
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/multigraph"
+)
+
+func checkPow2Side(what string, dim, side int) {
+	checkMeshParams(what, dim, side)
+	if side&(side-1) != 0 {
+		panic(fmt.Sprintf("topology: %s side %d must be a power of two", what, side))
+	}
+}
+
+// buildTreeOverLeaves threads a balanced binary tree over the given leaf
+// vertices, allocating internal vertices with alloc, and returns the root.
+// A single leaf is its own root.
+func buildTreeOverLeaves(g *multigraph.Multigraph, leaves []int, alloc func() int) int {
+	if len(leaves) == 1 {
+		return leaves[0]
+	}
+	mid := len(leaves) / 2
+	left := buildTreeOverLeaves(g, leaves[:mid], alloc)
+	right := buildTreeOverLeaves(g, leaves[mid:], alloc)
+	root := alloc()
+	g.AddSimpleEdge(root, left)
+	g.AddSimpleEdge(root, right)
+	return root
+}
+
+// MeshOfTrees returns the dim-dimensional mesh of trees with the given
+// power-of-two side: a side^dim grid of leaves, with a complete binary tree
+// over every axis-parallel line of the grid. Leaves and tree nodes are all
+// processors (the classic machine computes in the tree nodes too). There
+// are no direct grid edges — all communication runs through the trees.
+func MeshOfTrees(dim, side int) *Machine {
+	checkPow2Side("MeshOfTrees", dim, side)
+	gridN := pow(side, dim)
+	linesPerAxis := gridN / side
+	internalPerTree := side - 1
+	total := gridN + dim*linesPerAxis*internalPerTree
+	g := multigraph.New(total)
+	next := gridN
+	alloc := func() int { v := next; next++; return v }
+	for d := 0; d < dim; d++ {
+		// Enumerate lines along axis d: all coordinate combinations of the
+		// other dimensions.
+		line := make([]int, side)
+		other := make([]int, dim) // other[d] stays 0 and is overwritten below
+		var rec func(axis int)
+		rec = func(axis int) {
+			if axis == dim {
+				for i := 0; i < side; i++ {
+					other[d] = i
+					line[i] = index(other, side)
+				}
+				buildTreeOverLeaves(g, line, alloc)
+				return
+			}
+			if axis == d {
+				rec(axis + 1)
+				return
+			}
+			for v := 0; v < side; v++ {
+				other[axis] = v
+				rec(axis + 1)
+			}
+			other[axis] = 0
+		}
+		rec(0)
+	}
+	if next != total {
+		panic(fmt.Sprintf("topology: MeshOfTrees allocated %d of %d vertices", next, total))
+	}
+	m := &Machine{
+		Family: MeshOfTreesFamily, Name: fmt.Sprintf("MeshOfTrees%d[%d]", dim, total),
+		Graph: g, Procs: total, Dim: dim, Side: side,
+	}
+	return m.validate()
+}
+
+// levelSizes returns the per-level vertex counts of a pyramid/multigrid
+// with the given power-of-two side: level 0 is the finest mesh (side^dim),
+// the apex level has a single cell.
+func levelSizes(dim, side int) []int {
+	var out []int
+	for s := side; s >= 1; s /= 2 {
+		out = append(out, pow(s, dim))
+	}
+	return out
+}
+
+// hierarchical builds the shared pyramid/multigrid structure: a stack of
+// progressively coarser meshes with inter-level edges chosen by connect,
+// which is called with (childLevelSide, childCoord, parentCoord ids).
+func hierarchical(family Family, name string, dim, side int, allChildren bool) *Machine {
+	checkPow2Side(name, dim, side)
+	sizes := levelSizes(dim, side)
+	total := 0
+	offsets := make([]int, len(sizes))
+	for l, s := range sizes {
+		offsets[l] = total
+		total += s
+	}
+	g := multigraph.New(total)
+	// Intra-level mesh edges.
+	s := side
+	for l := range sizes {
+		n := sizes[l]
+		for id := 0; id < n; id++ {
+			c := coords(id, dim, s)
+			for d := 0; d < dim; d++ {
+				if c[d]+1 < s {
+					c[d]++
+					g.AddSimpleEdge(offsets[l]+id, offsets[l]+index(c, s))
+					c[d]--
+				}
+			}
+		}
+		s /= 2
+	}
+	// Inter-level edges: parent cell p at level l+1 covers the 2^dim block
+	// of children 2p+delta at level l.
+	s = side
+	for l := 0; l+1 < len(sizes); l++ {
+		ps := s / 2
+		for pid := 0; pid < sizes[l+1]; pid++ {
+			pc := coords(pid, dim, ps)
+			if allChildren {
+				// Pyramid: connect to the whole 2^dim child block.
+				child := make([]int, dim)
+				var rec func(d int)
+				rec = func(d int) {
+					if d == dim {
+						g.AddSimpleEdge(offsets[l+1]+pid, offsets[l]+index(child, s))
+						return
+					}
+					for delta := 0; delta < 2; delta++ {
+						child[d] = 2*pc[d] + delta
+						rec(d + 1)
+					}
+				}
+				rec(0)
+			} else {
+				// Multigrid: connect to the aligned corner child only.
+				child := make([]int, dim)
+				for d := 0; d < dim; d++ {
+					child[d] = 2 * pc[d]
+				}
+				g.AddSimpleEdge(offsets[l+1]+pid, offsets[l]+index(child, s))
+			}
+		}
+		s = ps
+	}
+	m := &Machine{
+		Family: family, Name: fmt.Sprintf("%s%d[%d]", name, dim, total),
+		Graph: g, Procs: total, Dim: dim, Side: side,
+	}
+	return m.validate()
+}
+
+// Pyramid returns the dim-dimensional pyramid with the given power-of-two
+// base side: a stack of meshes halving in side per level, each parent
+// joined to its full 2^dim child block.
+func Pyramid(dim, side int) *Machine {
+	return hierarchical(PyramidFamily, "Pyramid", dim, side, true)
+}
+
+// Multigrid returns the dim-dimensional multigrid with the given
+// power-of-two base side: the same mesh stack as the pyramid, with each
+// parent joined only to its aligned corner child.
+func Multigrid(dim, side int) *Machine {
+	return hierarchical(MultigridFamily, "Multigrid", dim, side, false)
+}

@@ -1,0 +1,190 @@
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/multigraph"
+)
+
+func checkOrder(what string, order, max int) {
+	if order < 1 || order > max {
+		panic(fmt.Sprintf("topology: %s order %d out of range [1,%d]", what, order, max))
+	}
+}
+
+// Butterfly returns the order-d butterfly: (d+1) levels of 2^d rows.
+// Vertex (l, r) connects to (l+1, r) (straight) and (l+1, r XOR 2^l)
+// (cross). (d+1)*2^d processors, degree <= 4.
+func Butterfly(order int) *Machine {
+	checkOrder("Butterfly", order, 24)
+	rows := 1 << order
+	n := (order + 1) * rows
+	id := func(level, row int) int { return level*rows + row }
+	g := multigraph.New(n)
+	for l := 0; l < order; l++ {
+		for r := 0; r < rows; r++ {
+			g.AddSimpleEdge(id(l, r), id(l+1, r))
+			g.AddSimpleEdge(id(l, r), id(l+1, r^(1<<l)))
+		}
+	}
+	m := &Machine{
+		Family: ButterflyFamily, Name: fmt.Sprintf("Butterfly[%d]", n),
+		Graph: g, Procs: n, Side: order,
+	}
+	return m.validate()
+}
+
+// WrappedButterfly returns the order-d wrapped butterfly: d levels of 2^d
+// rows with level d identified with level 0. d*2^d processors, 4-regular.
+func WrappedButterfly(order int) *Machine {
+	checkOrder("WrappedButterfly", order, 24)
+	if order < 2 {
+		panic("topology: WrappedButterfly order must be >= 2 (order 1 collapses to multi-edges)")
+	}
+	rows := 1 << order
+	n := order * rows
+	id := func(level, row int) int { return (level%order)*rows + row }
+	g := multigraph.New(n)
+	for l := 0; l < order; l++ {
+		for r := 0; r < rows; r++ {
+			straight := id(l+1, r)
+			cross := id(l+1, r^(1<<l))
+			if id(l, r) != straight {
+				g.AddSimpleEdge(id(l, r), straight)
+			}
+			if id(l, r) != cross {
+				g.AddSimpleEdge(id(l, r), cross)
+			}
+		}
+	}
+	m := &Machine{
+		Family: WrappedButterflyFamily, Name: fmt.Sprintf("WrappedButterfly[%d]", n),
+		Graph: g, Procs: n, Side: order,
+	}
+	return m.validate()
+}
+
+// CubeConnectedCycles returns the order-d CCC: each hypercube corner
+// becomes a d-cycle; (r, i) joins (r, i±1 mod d) on the cycle and
+// (r XOR 2^i, i) across the cube dimension. d*2^d processors, 3-regular.
+func CubeConnectedCycles(order int) *Machine {
+	checkOrder("CubeConnectedCycles", order, 24)
+	if order < 3 {
+		panic("topology: CubeConnectedCycles order must be >= 3 (shorter cycles duplicate edges)")
+	}
+	corners := 1 << order
+	n := order * corners
+	id := func(corner, pos int) int { return corner*order + pos }
+	g := multigraph.New(n)
+	for r := 0; r < corners; r++ {
+		for i := 0; i < order; i++ {
+			g.AddSimpleEdge(id(r, i), id(r, (i+1)%order)) // cycle edge
+			if r < r^(1<<i) {
+				g.AddSimpleEdge(id(r, i), id(r^(1<<i), i)) // cube edge
+			}
+		}
+	}
+	m := &Machine{
+		Family: CubeConnectedCyclesFamily, Name: fmt.Sprintf("CCC[%d]", n),
+		Graph: g, Procs: n, Side: order,
+	}
+	return m.validate()
+}
+
+// ShuffleExchange returns the order-d shuffle-exchange graph on n = 2^d
+// vertices: exchange edges r ~ r XOR 1 and shuffle edges r ~ rotateLeft(r).
+// Degree <= 3.
+func ShuffleExchange(order int) *Machine {
+	checkOrder("ShuffleExchange", order, 26)
+	if order < 2 {
+		panic("topology: ShuffleExchange order must be >= 2")
+	}
+	n := 1 << order
+	g := multigraph.New(n)
+	rot := func(r int) int { return ((r << 1) | (r >> (order - 1))) & (n - 1) }
+	for r := 0; r < n; r++ {
+		if r < r^1 {
+			g.AddSimpleEdge(r, r^1)
+		}
+		if s := rot(r); s != r && !g.HasEdge(r, s) {
+			g.AddSimpleEdge(r, s)
+		}
+	}
+	m := &Machine{
+		Family: ShuffleExchangeFamily, Name: fmt.Sprintf("ShuffleExchange[%d]", n),
+		Graph: g, Procs: n, Side: order,
+	}
+	return m.validate()
+}
+
+// DeBruijn returns the order-d de Bruijn graph on n = 2^d vertices:
+// r ~ (2r mod n) and r ~ (2r+1 mod n), self-loops dropped. Degree <= 4.
+func DeBruijn(order int) *Machine {
+	checkOrder("DeBruijn", order, 26)
+	if order < 2 {
+		panic("topology: DeBruijn order must be >= 2")
+	}
+	n := 1 << order
+	g := multigraph.New(n)
+	for r := 0; r < n; r++ {
+		for b := 0; b < 2; b++ {
+			s := (2*r + b) & (n - 1)
+			if s != r && !g.HasEdge(r, s) {
+				g.AddSimpleEdge(r, s)
+			}
+		}
+	}
+	m := &Machine{
+		Family: DeBruijnFamily, Name: fmt.Sprintf("DeBruijn[%d]", n),
+		Graph: g, Procs: n, Side: order,
+	}
+	return m.validate()
+}
+
+// WeakHypercube returns the order-d hypercube on n = 2^d vertices with
+// every vertex capped at forwarding one message per tick — the paper's
+// "weak" one-port model, which brings β down from Θ(n) to Θ(n / lg n).
+func WeakHypercube(order int) *Machine {
+	checkOrder("WeakHypercube", order, 22)
+	n := 1 << order
+	g := multigraph.New(n)
+	for r := 0; r < n; r++ {
+		for i := 0; i < order; i++ {
+			if r < r^(1<<i) {
+				g.AddSimpleEdge(r, r^(1<<i))
+			}
+		}
+	}
+	caps := make(map[int]int64, n)
+	for r := 0; r < n; r++ {
+		caps[r] = 1
+	}
+	m := &Machine{
+		Family: WeakHypercubeFamily, Name: fmt.Sprintf("WeakHypercube[%d]", n),
+		Graph: g, Procs: n, Side: order, VertexCap: caps,
+	}
+	return m.validate()
+}
+
+// StrongHypercube returns the order-d hypercube with all ports usable each
+// step (no vertex caps) — not one of the paper's Table 4 machines (its
+// degree grows with n, so it is not fixed-connection in the paper's sense),
+// but the natural contrast for the weak one-port model: β jumps from
+// Θ(n/lg n) to Θ(n).
+func StrongHypercube(order int) *Machine {
+	checkOrder("StrongHypercube", order, 22)
+	n := 1 << order
+	g := multigraph.New(n)
+	for r := 0; r < n; r++ {
+		for i := 0; i < order; i++ {
+			if r < r^(1<<i) {
+				g.AddSimpleEdge(r, r^(1<<i))
+			}
+		}
+	}
+	m := &Machine{
+		Family: WeakHypercubeFamily, Name: fmt.Sprintf("StrongHypercube[%d]", n),
+		Graph: g, Procs: n, Side: order,
+	}
+	return m.validate()
+}

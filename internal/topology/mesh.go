@@ -1,0 +1,147 @@
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/multigraph"
+)
+
+// coords/index convert between a flat vertex id and k-dimensional
+// coordinates with the given side, least-significant dimension first.
+func index(coord []int, side int) int {
+	id := 0
+	for d := len(coord) - 1; d >= 0; d-- {
+		id = id*side + coord[d]
+	}
+	return id
+}
+
+func coords(id, dim, side int) []int {
+	c := make([]int, dim)
+	for d := 0; d < dim; d++ {
+		c[d] = id % side
+		id /= side
+	}
+	return c
+}
+
+func checkMeshParams(what string, dim, side int) {
+	if dim < 1 {
+		panic(fmt.Sprintf("topology: %s dimension %d < 1", what, dim))
+	}
+	if side < 2 {
+		panic(fmt.Sprintf("topology: %s side %d < 2", what, side))
+	}
+	n := 1
+	for d := 0; d < dim; d++ {
+		n *= side
+		if n > 1<<28 {
+			panic(fmt.Sprintf("topology: %s size %d^%d too large", what, side, dim))
+		}
+	}
+}
+
+// Mesh returns the dim-dimensional mesh with the given side: side^dim
+// processors, neighbours differ by ±1 in exactly one coordinate.
+func Mesh(dim, side int) *Machine {
+	checkMeshParams("Mesh", dim, side)
+	n := pow(side, dim)
+	g := multigraph.New(n)
+	for id := 0; id < n; id++ {
+		c := coords(id, dim, side)
+		for d := 0; d < dim; d++ {
+			if c[d]+1 < side {
+				c[d]++
+				g.AddSimpleEdge(id, index(c, side))
+				c[d]--
+			}
+		}
+	}
+	m := &Machine{
+		Family: MeshFamily, Name: fmt.Sprintf("Mesh%d[%d]", dim, n),
+		Graph: g, Procs: n, Dim: dim, Side: side,
+	}
+	return m.validate()
+}
+
+// Torus returns the dim-dimensional torus: a mesh with wraparound edges.
+func Torus(dim, side int) *Machine {
+	checkMeshParams("Torus", dim, side)
+	if side < 3 {
+		panic(fmt.Sprintf("topology: Torus side %d < 3 (wraparound would duplicate edges)", side))
+	}
+	n := pow(side, dim)
+	g := multigraph.New(n)
+	for id := 0; id < n; id++ {
+		c := coords(id, dim, side)
+		// Each ring edge has a unique tail in the +1 direction, so adding
+		// the +1 neighbour for every vertex covers each edge exactly once.
+		for d := 0; d < dim; d++ {
+			old := c[d]
+			c[d] = (old + 1) % side
+			g.AddSimpleEdge(id, index(c, side))
+			c[d] = old
+		}
+	}
+	m := &Machine{
+		Family: TorusFamily, Name: fmt.Sprintf("Torus%d[%d]", dim, n),
+		Graph: g, Procs: n, Dim: dim, Side: side,
+	}
+	return m.validate()
+}
+
+// XGrid returns the dim-dimensional X-grid: the mesh plus the diagonals of
+// every 2-dimensional face (neighbours differing by ±1 in exactly two
+// coordinates). For dim=2 this is the classic eight-connected grid minus
+// wraparound; degree stays bounded for fixed dim.
+func XGrid(dim, side int) *Machine {
+	checkMeshParams("X-Grid", dim, side)
+	n := pow(side, dim)
+	g := multigraph.New(n)
+	for id := 0; id < n; id++ {
+		c := coords(id, dim, side)
+		// Axis edges.
+		for d := 0; d < dim; d++ {
+			if c[d]+1 < side {
+				c[d]++
+				g.AddSimpleEdge(id, index(c, side))
+				c[d]--
+			}
+		}
+		// 2-face diagonals: +1 in d1, ±1 in d2 (d1 < d2). Every diagonal has
+		// a unique endpoint that is lower in d1, so each is added once.
+		for d1 := 0; d1 < dim; d1++ {
+			if c[d1]+1 >= side {
+				continue
+			}
+			for d2 := d1 + 1; d2 < dim; d2++ {
+				for _, delta := range []int{1, -1} {
+					nd := c[d2] + delta
+					if nd < 0 || nd >= side {
+						continue
+					}
+					c[d1]++
+					old := c[d2]
+					c[d2] = nd
+					nb := index(c, side)
+					c[d2] = old
+					c[d1]--
+					g.AddSimpleEdge(id, nb)
+				}
+			}
+		}
+	}
+	m := &Machine{
+		Family: XGridFamily, Name: fmt.Sprintf("X-Grid%d[%d]", dim, n),
+		Graph: g, Procs: n, Dim: dim, Side: side,
+	}
+	return m.validate()
+}
+
+func pow(base, exp int) int {
+	out := 1
+	for i := 0; i < exp; i++ {
+		out *= base
+	}
+	return out
+}

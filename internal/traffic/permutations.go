@@ -1,0 +1,115 @@
+package traffic
+
+import "fmt"
+
+// Classic structured permutations used as adversarial routing workloads in
+// the fixed-connection-network literature. All require n to be a power of
+// two (they are defined on bit strings); endpoints that would map to
+// themselves are cycled one position to keep the distribution
+// fixed-point-free, which perturbs only O(√n) of the pairs.
+
+func orderOf(n int) (int, error) {
+	if n < 4 || n&(n-1) != 0 {
+		return 0, fmt.Errorf("traffic: structured permutations need a power-of-two n >= 4, got %d", n)
+	}
+	d := 0
+	for 1<<d < n {
+		d++
+	}
+	return d, nil
+}
+
+// fixupFixedPoints replaces fixed points of perm by cycling them amongst
+// each other (a single fixed point swaps with its successor index).
+func fixupFixedPoints(perm []int) {
+	var fixed []int
+	for i, v := range perm {
+		if v == i {
+			fixed = append(fixed, i)
+		}
+	}
+	switch len(fixed) {
+	case 0:
+	case 1:
+		i := fixed[0]
+		j := (i + 1) % len(perm)
+		perm[i], perm[j] = perm[j], perm[i]
+	default:
+		for k := range fixed {
+			perm[fixed[k]] = fixed[(k+1)%len(fixed)]
+		}
+	}
+}
+
+// BitReversal returns the permutation that reverses each endpoint's bit
+// string — the classic worst case for greedy routing on butterflies and
+// meshes.
+func BitReversal(n int) (*Permutation, error) {
+	d, err := orderOf(n)
+	if err != nil {
+		return nil, err
+	}
+	perm := make([]int, n)
+	for i := 0; i < n; i++ {
+		r := 0
+		for b := 0; b < d; b++ {
+			if i&(1<<b) != 0 {
+				r |= 1 << (d - 1 - b)
+			}
+		}
+		perm[i] = r
+	}
+	fixupFixedPoints(perm)
+	return NewPermutation(perm), nil
+}
+
+// Transpose returns the matrix-transpose permutation: the high and low
+// halves of each endpoint's bit string are swapped. d must be even for an
+// exact transpose; odd d swaps the floor(d/2) outer bits around the middle
+// bit.
+func Transpose(n int) (*Permutation, error) {
+	d, err := orderOf(n)
+	if err != nil {
+		return nil, err
+	}
+	half := d / 2
+	lowMask := (1 << half) - 1
+	perm := make([]int, n)
+	for i := 0; i < n; i++ {
+		low := i & lowMask
+		high := i >> (d - half) // top `half` bits
+		mid := (i >> half) & ((1 << (d - 2*half)) - 1)
+		perm[i] = low<<(d-half) | mid<<half | high
+	}
+	fixupFixedPoints(perm)
+	return NewPermutation(perm), nil
+}
+
+// Complement returns the permutation sending every endpoint to its bitwise
+// complement — maximal-distance traffic on hypercubic machines.
+func Complement(n int) (*Permutation, error) {
+	if _, err := orderOf(n); err != nil {
+		return nil, err
+	}
+	perm := make([]int, n)
+	for i := 0; i < n; i++ {
+		perm[i] = (n - 1) ^ i
+	}
+	// i != ~i always, so no fixed points.
+	return NewPermutation(perm), nil
+}
+
+// PerfectShuffle returns the cyclic-rotate-left permutation on bit strings
+// (the shuffle of a shuffle-exchange network, as traffic).
+func PerfectShuffle(n int) (*Permutation, error) {
+	d, err := orderOf(n)
+	if err != nil {
+		return nil, err
+	}
+	perm := make([]int, n)
+	for i := 0; i < n; i++ {
+		perm[i] = ((i << 1) | (i >> (d - 1))) & (n - 1)
+	}
+	fixupFixedPoints(perm)
+	return NewPermutation(perm), nil
+}

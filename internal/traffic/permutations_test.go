@@ -1,0 +1,106 @@
+package traffic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func checkPermDist(t *testing.T, p *Permutation, n int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		m := p.Sample(rng)
+		if m.Src == m.Dst {
+			t.Fatal("fixed point sampled")
+		}
+		if m.Src < 0 || m.Src >= n || m.Dst < 0 || m.Dst >= n {
+			t.Fatalf("out of range: %+v", m)
+		}
+	}
+}
+
+func TestBitReversal(t *testing.T) {
+	p, err := BitReversal(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPermDist(t, p, 16)
+	// 0001 <-> 1000 must be paired (1 -> 8).
+	g := p.Graph()
+	if !g.HasEdge(1, 8) {
+		t.Fatal("bit reversal missing 1<->8")
+	}
+}
+
+func TestTransposeEvenOrder(t *testing.T) {
+	p, err := Transpose(16) // d=4: (hi2, lo2) swap
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPermDist(t, p, 16)
+	// 0b0110 (hi=01, lo=10) -> 0b1001.
+	g := p.Graph()
+	if !g.HasEdge(0b0110, 0b1001) {
+		t.Fatal("transpose missing 6<->9")
+	}
+}
+
+func TestTransposeOddOrder(t *testing.T) {
+	p, err := Transpose(32) // d=5
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPermDist(t, p, 32)
+}
+
+func TestComplement(t *testing.T) {
+	p, err := Complement(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPermDist(t, p, 16)
+	g := p.Graph()
+	if !g.HasEdge(0, 15) || !g.HasEdge(5, 10) {
+		t.Fatal("complement pairs missing")
+	}
+}
+
+func TestPerfectShuffle(t *testing.T) {
+	p, err := PerfectShuffle(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPermDist(t, p, 16)
+	// 0b0011 -> 0b0110.
+	g := p.Graph()
+	if !g.HasEdge(3, 6) {
+		t.Fatal("shuffle missing 3->6")
+	}
+}
+
+func TestStructuredPermBadSize(t *testing.T) {
+	for _, n := range []int{0, 3, 12, 100} {
+		if _, err := BitReversal(n); err == nil {
+			t.Errorf("BitReversal(%d) accepted", n)
+		}
+		if _, err := Transpose(n); err == nil {
+			t.Errorf("Transpose(%d) accepted", n)
+		}
+		if _, err := Complement(n); err == nil {
+			t.Errorf("Complement(%d) accepted", n)
+		}
+		if _, err := PerfectShuffle(n); err == nil {
+			t.Errorf("PerfectShuffle(%d) accepted", n)
+		}
+	}
+}
+
+func TestFixupFixedPointsSingle(t *testing.T) {
+	perm := []int{0, 2, 1} // one fixed point at 0
+	fixupFixedPoints(perm)
+	for i, v := range perm {
+		if v == i {
+			t.Fatalf("fixed point survives: %v", perm)
+		}
+	}
+}

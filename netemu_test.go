@@ -1,0 +1,226 @@
+package netemu
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewMachineAllFamilies(t *testing.T) {
+	for _, f := range Families() {
+		dim := 0
+		if f.Dimensioned() {
+			dim = 2
+		}
+		m := NewMachine(f, dim, 64, 1)
+		if m == nil || m.N() < 8 {
+			t.Fatalf("NewMachine(%v) = %v", f, m)
+		}
+	}
+}
+
+func TestNamedConstructors(t *testing.T) {
+	if NewMesh(2, 4).N() != 16 {
+		t.Fatal("NewMesh wrong")
+	}
+	if NewDeBruijn(5).N() != 32 {
+		t.Fatal("NewDeBruijn wrong")
+	}
+	if NewExpander(32, 7).N() != 32 {
+		t.Fatal("NewExpander wrong")
+	}
+	if NewMultibutterfly(3, 7).N() != 32 {
+		t.Fatal("NewMultibutterfly wrong")
+	}
+}
+
+func TestAnalyticBeta(t *testing.T) {
+	a, err := AnalyticBeta(DeBruijn, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Beta.String() != "n lg^{-1} n" {
+		t.Fatalf("beta = %q", a.Beta.String())
+	}
+}
+
+func TestMaxHostSizeHeadline(t *testing.T) {
+	s, err := MaxHostSize(Spec{Family: DeBruijn}, Spec{Family: Mesh, Dim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "lg^{2} |G|") {
+		t.Fatalf("MaxHostSize = %q, want O(lg^2 |G|)", s)
+	}
+}
+
+func TestMeasureBetaFacade(t *testing.T) {
+	m := NewMesh(2, 6)
+	meas := MeasureBeta(m, MeasureOptions{LoadFactors: []int{2, 4}, Trials: 1}, 42)
+	if meas.Beta <= 0 {
+		t.Fatal("no rate")
+	}
+}
+
+func TestGraphBetaFacade(t *testing.T) {
+	if GraphBeta(NewMesh(2, 5), 4, 42) <= 0 {
+		t.Fatal("no graph beta")
+	}
+}
+
+func TestMeasurePermutation(t *testing.T) {
+	st := MeasurePermutation(NewButterfly(3), 2, 42)
+	if st.Messages != 64 || st.Ticks <= 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestEmulateFacade(t *testing.T) {
+	res := Emulate(NewDeBruijn(5), NewMesh(2, 4), 2, 42)
+	if res.Slowdown < res.LoadBound {
+		t.Fatalf("slowdown %.1f below load %.1f", res.Slowdown, res.LoadBound)
+	}
+	circ := EmulateCircuit(NewRing(16), NewRing(4), 2, 2, 42)
+	if circ.Inefficiency < 1.5 {
+		t.Fatalf("redundant inefficiency = %v", circ.Inefficiency)
+	}
+}
+
+func TestVerifyBoundFacade(t *testing.T) {
+	check, err := VerifyBound(NewDeBruijn(5), NewMesh(2, 4), 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if check.Ratio <= 0 {
+		t.Fatalf("check %+v", check)
+	}
+}
+
+func TestTablesFacade(t *testing.T) {
+	if len(Table1(2, 2)) == 0 || len(Table2(2, 2)) == 0 || len(Table3(2)) == 0 {
+		t.Fatal("empty tables")
+	}
+	var sb strings.Builder
+	if err := WriteTable(&sb, "T1", Table1(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTable4(&sb, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Mesh^2") {
+		t.Fatal("missing table content")
+	}
+}
+
+func TestAuditBottleneckFacade(t *testing.T) {
+	rep := AuditBottleneck(NewMesh(2, 5), 2, MeasureOptions{LoadFactors: []int{4}, Trials: 1}, 42)
+	if len(rep.Trials) != 2 {
+		t.Fatalf("trials %d", len(rep.Trials))
+	}
+}
+
+func TestDeterminismWithSeed(t *testing.T) {
+	a := Emulate(NewDeBruijn(5), NewMesh(2, 4), 2, 7)
+	b := Emulate(NewDeBruijn(5), NewMesh(2, 4), 2, 7)
+	if a.HostTicks != b.HostTicks {
+		t.Fatalf("non-deterministic: %d vs %d", a.HostTicks, b.HostTicks)
+	}
+}
+
+func TestProgramFacade(t *testing.T) {
+	guest := NewDeBruijn(5)
+	p := NewFloodMax()
+	native := RunProgram(p, guest, 5)
+	res := RunProgramEmulated(p, guest, NewMesh(2, 4), 5, 3)
+	for v := range native {
+		if native[v] != res.States[v] {
+			t.Fatalf("emulated state %d differs", v)
+		}
+	}
+	if res.Slowdown <= 0 {
+		t.Fatal("no slowdown recorded")
+	}
+	if _, err := ProgramByName("floodmax"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ProgramByName("bogus"); err == nil {
+		t.Fatal("bogus program accepted")
+	}
+	if NewSumDiffusion().Name() != "sumdiffusion" || NewParityWave().Name() != "paritywave" {
+		t.Fatal("program names wrong")
+	}
+}
+
+func TestPipelinedFacade(t *testing.T) {
+	seq := Emulate(NewDeBruijn(5), NewMesh(2, 4), 2, 5)
+	pipe := EmulatePipelined(NewDeBruijn(5), NewMesh(2, 4), 2, 5)
+	if pipe.HostTicks > seq.HostTicks {
+		t.Fatalf("pipelined %d > sequential %d", pipe.HostTicks, seq.HostTicks)
+	}
+}
+
+func TestSteadyBetaFacade(t *testing.T) {
+	if beta := MeasureSteadyBeta(NewMesh(2, 5), 200, 6, 5); beta <= 0 {
+		t.Fatalf("steady beta %v", beta)
+	}
+}
+
+func TestFaultFacade(t *testing.T) {
+	m := NewMultibutterfly(4, 9)
+	d := DegradeEdges(m, 0.2, 9)
+	if d.Graph.E() >= m.Graph.E() {
+		t.Fatal("no degradation")
+	}
+	if f := SurvivalFraction(d); f <= 0 || f > 1 {
+		t.Fatalf("survival %v", f)
+	}
+	s := Survivor(d)
+	if !s.Graph.Connected() {
+		t.Fatal("survivor disconnected")
+	}
+}
+
+func TestMappingFacade(t *testing.T) {
+	guest := NewDeBruijn(5)
+	host := NewTree(3)
+	assign := MappedContraction(guest, host, 11)
+	if len(assign) != guest.N() {
+		t.Fatalf("assignment covers %d", len(assign))
+	}
+	res := EmulateWithAssignment(guest, host, 2, assign, 11)
+	if res.Slowdown < res.LoadBound {
+		t.Fatalf("slowdown %v below load %v", res.Slowdown, res.LoadBound)
+	}
+}
+
+func TestPatternFacade(t *testing.T) {
+	p := NewFFTPattern(4)
+	h := NewMesh(2, 4)
+	bound := PatternBound(p, h, 1)
+	ticks := MeasurePattern(p, h, 1)
+	if float64(ticks) < bound {
+		t.Fatalf("measured %d below bound %.1f", ticks, bound)
+	}
+	if NewBitonicPattern(3).Messages() <= NewFFTPattern(3).Messages() {
+		t.Fatal("bitonic should carry more messages than fft")
+	}
+	if NewPrefixPattern(3).Endpoints() != 8 || NewAllToAllPattern(8).Endpoints() != 8 {
+		t.Fatal("pattern endpoints wrong")
+	}
+}
+
+func TestOpenLoopFacade(t *testing.T) {
+	res := MeasureOpenLoop(NewMesh(2, 5), 2, 200, 4)
+	if res.Throughput <= 0 || res.P95Latency < 1 {
+		t.Fatalf("open loop result %+v", res)
+	}
+}
+
+func TestLocalityFacadeBeatsSymmetricOnArray(t *testing.T) {
+	m := NewLinearArray(48)
+	opts := MeasureOptions{LoadFactors: []int{2, 4}, Trials: 1}
+	sym := MeasureBeta(m, opts, 6).Beta
+	local := MeasureBetaUnder(m, NewLocalityTraffic(m, 0.25), opts, 6).Beta
+	if local <= sym {
+		t.Fatalf("local rate %.1f should exceed symmetric %.1f on an array", local, sym)
+	}
+}

@@ -1,0 +1,41 @@
+package netemu
+
+import (
+	"math/rand"
+
+	"repro/internal/embed"
+	"repro/internal/patterns"
+)
+
+// Pattern is the communication demand of a parallel algorithm — the
+// extension the paper's conclusion sketches (algorithms as collections of
+// communication patterns whose bandwidth lower-bounds host time).
+type Pattern = patterns.Pattern
+
+// NewFFTPattern returns the n = 2^order point FFT exchange pattern.
+func NewFFTPattern(order int) Pattern { return patterns.FFT(order) }
+
+// NewBitonicPattern returns the bitonic sorting network pattern.
+func NewBitonicPattern(order int) Pattern { return patterns.BitonicSort(order) }
+
+// NewPrefixPattern returns the parallel-prefix up/down-sweep pattern.
+func NewPrefixPattern(order int) Pattern { return patterns.ParallelPrefix(order) }
+
+// NewAllToAllPattern returns the personalized complete exchange on n
+// processes.
+func NewAllToAllPattern(n int) Pattern { return patterns.AllToAll(n) }
+
+// PatternBound returns the Lemma 8 lower bound on the host ticks needed to
+// deliver the pattern with process i on processor i (host must have at
+// least as many processors as the pattern has processes).
+func PatternBound(p Pattern, host *Machine, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return p.HostBound(host, embed.IdentityMap(p.Endpoints()), rng)
+}
+
+// MeasurePattern routes the whole pattern on the host (process i on
+// processor i) and returns the delivery time in ticks.
+func MeasurePattern(p Pattern, host *Machine, seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return p.MeasureOn(host, embed.IdentityMap(p.Endpoints()), rng)
+}
