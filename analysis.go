@@ -135,6 +135,21 @@ func MeasureOpenLoop(m *Machine, rate float64, ticks int, seed int64) OpenLoopRe
 	return eng.OpenLoop(traffic.NewSymmetric(m.N()), rate, ticks, rng)
 }
 
+// Snapshot is a point-in-time statistical export of a routing run:
+// counters, latency quantiles, queue-occupancy histogram, top-k edge
+// utilization, and per-tick series, with JSON/CSV writers. It backs the
+// -stats flag of cmd/betameter and cmd/emusim.
+type Snapshot = routing.Snapshot
+
+// MeasureOpenLoopSnapshot is MeasureOpenLoop with full instrumentation: it
+// additionally returns the Snapshot of the run. topK bounds the edge
+// utilization list (<= 0 means 10).
+func MeasureOpenLoopSnapshot(m *Machine, rate float64, ticks, topK int, seed int64) (OpenLoopResult, Snapshot) {
+	rng := rand.New(rand.NewSource(seed))
+	eng := routing.NewEngine(m, routing.Greedy)
+	return eng.OpenLoopSnapshot(traffic.NewSymmetric(m.N()), rate, ticks, rng, topK)
+}
+
 // NewLocalityTraffic returns a distance-decaying traffic distribution on
 // the machine's graph (decay in (0,1); smaller = more local). Local
 // traffic evades the bandwidth bound — most messages avoid the thin cuts —

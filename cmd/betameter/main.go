@@ -6,7 +6,12 @@
 // Usage:
 //
 //	betameter [-family DeBruijn] [-dim 2] [-sizes 64,128,256,512]
-//	          [-load 2,4,8] [-trials 2] [-seed 1]
+//	          [-load 2,4,8] [-trials 2] [-seed 1] [-stats out.json]
+//
+// With -stats, the largest size additionally runs an instrumented open-loop
+// at 90% of its measured β and the statistical snapshot (latency quantiles,
+// queue occupancy, top edge utilization, per-tick series) is written as
+// JSON to the given path ("-" for stdout).
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"strconv"
 	"strings"
 
@@ -34,8 +40,14 @@ func main() {
 	list := flag.Bool("list", false, "list families and exit")
 	describe := flag.Bool("describe", false, "print a structural summary of each instance")
 	steady := flag.Bool("steady", false, "also measure the open-loop (steady-state) rate")
+	stats := flag.String("stats", "", "write an instrumented open-loop snapshot of the largest size as JSON to this path (- for stdout)")
+	statsTicks := flag.Int("stats-ticks", 400, "open-loop run length for -stats")
+	topK := flag.Int("topk", 10, "edge-utilization entries in the -stats snapshot")
 	flag.Parse()
 
+	if *stats != "" && *statsTicks < 8 {
+		log.Fatalf("-stats-ticks must be at least 8, got %d", *statsTicks)
+	}
 	if *list {
 		for _, f := range netemu.Families() {
 			fmt.Println(f)
@@ -50,6 +62,8 @@ func main() {
 	rng := rand.New(rand.NewSource(*seed))
 
 	var points []bandwidth.SweepPoint
+	var lastMachine *netemu.Machine
+	var lastBeta float64
 	header := fmt.Sprintf("%-10s %12s %12s %12s", "n", "beta", "flux-bound", "bis-bound")
 	if *steady {
 		header += fmt.Sprintf(" %12s", "steady-beta")
@@ -67,6 +81,7 @@ func main() {
 		meas := bandwidth.MeasureSymmetricBeta(m, opts, rng)
 		b := bandwidth.UpperBounds(m, 4, rng)
 		points = append(points, bandwidth.SweepPoint{N: m.N(), Beta: meas.Beta})
+		lastMachine, lastBeta = m, meas.Beta
 		line := fmt.Sprintf("%-10d %12.2f %12.2f %12.2f", m.N(), meas.Beta, b.Flux, b.Bisection)
 		if *steady {
 			line += fmt.Sprintf(" %12.2f", bandwidth.SteadyStateBeta(m, 300, 8, rng))
@@ -80,6 +95,31 @@ func main() {
 	if analytic, err := netemu.AnalyticBeta(fam, *dim); err == nil {
 		fmt.Printf("paper (Table 4): beta = Θ(%s), λ = Θ(%s)\n", analytic.Beta, analytic.Lambda)
 	}
+	if *stats != "" && lastMachine != nil {
+		rate := 0.9 * lastBeta
+		if rate <= 0 {
+			rate = 1
+		}
+		_, snap := netemu.MeasureOpenLoopSnapshot(lastMachine, rate, *statsTicks, *topK, *seed)
+		if err := writeSnapshot(*stats, snap); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func writeSnapshot(path string, snap netemu.Snapshot) error {
+	if path == "-" {
+		return snap.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func parseInts(csv string) []int {

@@ -6,7 +6,13 @@
 //
 //	emusim [-guest DeBruijn] [-gdim 2] [-gsize 256]
 //	       [-host Mesh] [-hdim 2] [-hsize 64]
-//	       [-steps 4] [-duplicity 1] [-circuit] [-seed 1]
+//	       [-steps 4] [-duplicity 1] [-circuit] [-seed 1] [-stats out.json]
+//
+// With -stats, the host machine additionally runs an instrumented open-loop
+// near its saturation rate and the statistical snapshot (latency quantiles,
+// queue occupancy, top edge utilization, per-tick series) is written as
+// JSON to the given path ("-" for stdout) — the observability companion to
+// the slowdown numbers: it shows where the host's bandwidth goes.
 package main
 
 import (
@@ -14,6 +20,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 
 	"repro"
 	"repro/internal/topology"
@@ -34,8 +41,14 @@ func main() {
 	pipelined := flag.Bool("pipelined", false, "overlap compute with communication")
 	useMapper := flag.Bool("map", false, "use the recursive-bisection mapper for the contraction")
 	seed := flag.Int64("seed", 1, "rng seed")
+	stats := flag.String("stats", "", "write an instrumented host open-loop snapshot as JSON to this path (- for stdout)")
+	statsTicks := flag.Int("stats-ticks", 400, "open-loop run length for -stats")
+	topK := flag.Int("topk", 10, "edge-utilization entries in the -stats snapshot")
 	flag.Parse()
 
+	if *stats != "" && *statsTicks < 8 {
+		log.Fatalf("-stats-ticks must be at least 8, got %d", *statsTicks)
+	}
 	guest := build(*guestName, *gdim, *gsize, *seed)
 	host := build(*hostName, *hdim, *hsize, *seed+1)
 	fmt.Printf("guest: %v\nhost:  %v\n", guest, host)
@@ -65,6 +78,36 @@ func main() {
 	} else {
 		fmt.Printf("\n(theorem bound unavailable: %v)\n", err)
 	}
+
+	if *stats != "" {
+		// Run the host at 90% of its measured saturation rate so the
+		// snapshot shows the loaded-but-stable regime the emulation
+		// bound cares about.
+		sat := netemu.MeasureSteadyBeta(host, 200, 6, *seed)
+		rate := 0.9 * sat
+		if rate <= 0 {
+			rate = 1
+		}
+		_, snap := netemu.MeasureOpenLoopSnapshot(host, rate, *statsTicks, *topK, *seed)
+		if err := writeSnapshot(*stats, snap); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func writeSnapshot(path string, snap netemu.Snapshot) error {
+	if path == "-" {
+		return snap.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func build(name string, dim, size int, seed int64) *netemu.Machine {

@@ -1,0 +1,89 @@
+package netemu
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// checkGolden compares got against testdata/<name>, rewriting the file
+// instead when -update is passed.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run %s -update` to create it)", err, t.Name())
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file %s.\ngot:\n%s\nwant:\n%s\nIf the change is intended, regenerate with `go test -update`.",
+			t.Name(), path, got, want)
+	}
+}
+
+// nettablesAll renders what `nettables -table all -j 2 -k 2` prints: the
+// reproduced Tables 1-4.
+func nettablesAll() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := WriteTable4(&buf, 2); err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(&buf)
+	if err := WriteTable(&buf, "Table 1: mesh/torus/X-grid guests at j=2 (hosts at k=2)", Table1(2, 2)); err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(&buf)
+	if err := WriteTable(&buf, "Table 2: mesh-of-trees/multigrid/pyramid guests at j=2 (hosts at k=2)", Table2(2, 2)); err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(&buf)
+	if err := WriteTable(&buf, "Table 3: hypercubic guests (hosts at k=2)", Table3(2)); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ISSUE satellite: lock the symbolic table output of cmd/nettables so a
+// regression in the Table 1-3 regeneration machinery (growth-function
+// arithmetic, formatting) is caught mechanically.
+func TestNettablesGolden(t *testing.T) {
+	got, err := nettablesAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "nettables_all.golden", got)
+}
+
+// ISSUE satellite: lock the -stats JSON schema (and the CSV series format)
+// behind golden files. The run is fully deterministic: fixed machine,
+// rate, ticks, and seed.
+func TestSnapshotGolden(t *testing.T) {
+	m := NewMesh(2, 5)
+	_, snap := MeasureOpenLoopSnapshot(m, 4, 120, 5, 7)
+
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "snapshot_mesh2x5.golden.json", buf.Bytes())
+
+	buf.Reset()
+	if err := snap.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "snapshot_mesh2x5.golden.csv", buf.Bytes())
+}

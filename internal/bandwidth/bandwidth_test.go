@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/growth"
+	"repro/internal/measure"
 	"repro/internal/routing"
 	"repro/internal/topology"
 	"repro/internal/traffic"
@@ -189,9 +190,8 @@ func TestMeasureLambda(t *testing.T) {
 }
 
 func TestSweepAndFitMeshExponent(t *testing.T) {
-	rng := rand.New(rand.NewSource(9))
 	opts := MeasureOptions{LoadFactors: []int{2, 4, 8}, Trials: 2}
-	points := SweepBeta(topology.MeshFamily, 2, []int{36, 64, 144, 256, 400}, opts, rng)
+	points := SweepBeta(topology.MeshFamily, 2, []int{36, 64, 144, 256, 400}, opts, measure.NewSeedPlan(9))
 	a, _, _, rmse := FitGrowth(points)
 	// Expect exponent ~1/2 for the 2-d mesh.
 	if math.Abs(a-0.5) > 0.2 {
@@ -320,8 +320,8 @@ func TestLemma10LambdaBetaAtMostLinear(t *testing.T) {
 func TestSweepBetaParallelDeterministic(t *testing.T) {
 	sizes := []int{36, 64, 144}
 	opts := MeasureOptions{LoadFactors: []int{2, 4}, Trials: 1}
-	a := SweepBetaParallel(topology.MeshFamily, 2, sizes, opts, 99, 3)
-	b := SweepBetaParallel(topology.MeshFamily, 2, sizes, opts, 99, 1)
+	a := SweepBetaParallel(topology.MeshFamily, 2, sizes, opts, measure.NewSeedPlan(99), 3)
+	b := SweepBetaParallel(topology.MeshFamily, 2, sizes, opts, measure.NewSeedPlan(99), 1)
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatalf("parallel sweep not deterministic: %+v vs %+v", a[i], b[i])
@@ -336,7 +336,7 @@ func TestSweepBetaParallelDeterministic(t *testing.T) {
 
 func TestSweepBetaParallelMatchesShape(t *testing.T) {
 	opts := MeasureOptions{LoadFactors: []int{2, 4, 8}, Trials: 2}
-	pts := SweepBetaParallel(topology.MeshFamily, 2, []int{36, 64, 144, 256}, opts, 7, 4)
+	pts := SweepBetaParallel(topology.MeshFamily, 2, []int{36, 64, 144, 256}, opts, measure.NewSeedPlan(7), 4)
 	a, _, _, _ := FitGrowth(pts)
 	if a < 0.25 || a > 0.85 {
 		t.Fatalf("parallel sweep mesh exponent %.2f, want ~0.5", a)

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
+	"repro/internal/measure"
 	"repro/internal/routing"
 	"repro/internal/topology"
 	"repro/internal/traffic"
@@ -50,30 +52,55 @@ type Measurement struct {
 // delivery time against batch size over all trials and returns the inverse
 // slope, which cancels the additive tail. With a single load factor the
 // regression degenerates and the raw ratio is used.
+//
+// Determinism: one seed is drawn from rng to root a measure.SeedPlan, and
+// every (load factor, trial) pair runs on its own stream keyed by its
+// values. The result is therefore invariant under reordering of
+// opts.LoadFactors, and trials of one load factor do not perturb another's.
 func MeasureBeta(m *topology.Machine, dist traffic.Distribution, opts MeasureOptions, rng *rand.Rand) Measurement {
 	if dist.N() != m.N() {
 		panic(fmt.Sprintf("bandwidth: distribution over %d endpoints on machine of %d", dist.N(), m.N()))
 	}
 	opts = opts.withDefaults()
+	plan := measure.NewSeedPlan(rng.Int63())
 	eng := routing.NewEngine(m, opts.Strategy)
 	out := Measurement{Machine: m, Dist: dist.Name(), RateByLoad: make(map[int]float64)}
-	var xs, ys []float64 // batch size, ticks — one point per trial
-	var lastRaw float64
+	type point struct{ x, y float64 } // batch size, ticks — one per trial
+	var pts []point
+	maxLF, maxRaw := 0, 0.0
 	for _, lf := range opts.LoadFactors {
 		batchSize := lf * m.N()
 		var msgs, ticks float64
 		for t := 0; t < opts.Trials; t++ {
-			batch := traffic.Batch(dist, batchSize, rng)
-			st := eng.Route(batch, rng)
+			trng := plan.RNG(uint64(lf), uint64(t))
+			batch := traffic.Batch(dist, batchSize, trng)
+			st := eng.Route(batch, trng)
 			msgs += float64(st.Messages)
 			ticks += float64(st.Ticks)
-			xs = append(xs, float64(st.Messages))
-			ys = append(ys, float64(st.Ticks))
+			pts = append(pts, point{x: float64(st.Messages), y: float64(st.Ticks)})
 		}
 		out.RateByLoad[lf] = msgs / ticks
-		lastRaw = msgs / ticks
+		if lf > maxLF {
+			maxLF, maxRaw = lf, msgs/ticks
+		}
 	}
-	out.Beta = lastRaw
+	// Fall back to the raw rate at the largest load factor (not the last in
+	// iteration order, which would reintroduce order dependence).
+	out.Beta = maxRaw
+	// Sort the regression points so the floating-point sums are independent
+	// of the load-factor ordering too.
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].x != pts[j].x {
+			return pts[i].x < pts[j].x
+		}
+		return pts[i].y < pts[j].y
+	})
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i] = p.x
+		ys[i] = p.y
+	}
 	if slope, ok := regressionSlope(xs, ys); ok && slope > 0 {
 		beta := 1 / slope
 		// The raw ratio m/r(m) underestimates β (the tail only adds time),
@@ -129,14 +156,25 @@ type SweepPoint struct {
 
 // SweepBeta measures β across machine sizes of one family, for exponent
 // fitting against the Table 4 formulas. dim is passed to topology.Build.
-func SweepBeta(f topology.Family, dim int, sizes []int, opts MeasureOptions, rng *rand.Rand) []SweepPoint {
+// Each size runs on its own RNG stream derived from the plan by (family,
+// size index), the exact streams SweepBetaParallel uses, so the two sweeps
+// are bit-identical on the same plan.
+func SweepBeta(f topology.Family, dim int, sizes []int, opts MeasureOptions, plan measure.SeedPlan) []SweepPoint {
 	out := make([]SweepPoint, 0, len(sizes))
-	for _, size := range sizes {
-		m := topology.Build(f, dim, size, rng)
-		meas := MeasureSymmetricBeta(m, opts, rng)
-		out = append(out, SweepPoint{N: m.N(), Beta: meas.Beta})
+	for i, size := range sizes {
+		out = append(out, sweepPoint(f, dim, size, i, opts, plan))
 	}
 	return out
+}
+
+// sweepPoint measures one size of a sweep on its plan-derived stream. Both
+// SweepBeta and SweepBetaParallel funnel through it, which is what makes
+// them bit-identical.
+func sweepPoint(f topology.Family, dim, size, index int, opts MeasureOptions, plan measure.SeedPlan) SweepPoint {
+	rng := plan.RNG(uint64(f), uint64(index))
+	m := topology.Build(f, dim, size, rng)
+	meas := MeasureSymmetricBeta(m, opts, rng)
+	return SweepPoint{N: m.N(), Beta: meas.Beta}
 }
 
 // MeasureLambda reports the machine's λ ingredients: the exact or

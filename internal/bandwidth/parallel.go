@@ -1,18 +1,19 @@
 package bandwidth
 
 import (
-	"math/rand"
 	"sync"
 
+	"repro/internal/measure"
 	"repro/internal/topology"
 )
 
 // SweepBetaParallel measures β across machine sizes concurrently, one
-// goroutine per size with its own deterministically derived rng, so the
-// result is identical to a sequential sweep with the same baseSeed
-// regardless of scheduling. workers caps the concurrency (<= 1 means one
-// goroutine per size).
-func SweepBetaParallel(f topology.Family, dim int, sizes []int, opts MeasureOptions, baseSeed int64, workers int) []SweepPoint {
+// goroutine per size. Every size draws its randomness from the shared
+// measure.SeedPlan keyed by (family, size index) — the same streams
+// SweepBeta consumes — so the result is bit-identical to the sequential
+// sweep on the same plan, regardless of worker count or scheduling.
+// workers caps the concurrency (<= 1 means one goroutine per size).
+func SweepBetaParallel(f topology.Family, dim int, sizes []int, opts MeasureOptions, plan measure.SeedPlan, workers int) []SweepPoint {
 	out := make([]SweepPoint, len(sizes))
 	if workers < 1 {
 		workers = len(sizes)
@@ -25,12 +26,7 @@ func SweepBetaParallel(f topology.Family, dim int, sizes []int, opts MeasureOpti
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			// Seed derivation: mixing the index keeps streams independent
-			// and the whole sweep reproducible.
-			rng := rand.New(rand.NewSource(baseSeed + int64(i)*1_000_003))
-			m := topology.Build(f, dim, size, rng)
-			meas := MeasureSymmetricBeta(m, opts, rng)
-			out[i] = SweepPoint{N: m.N(), Beta: meas.Beta}
+			out[i] = sweepPoint(f, dim, size, i, opts, plan)
 		}(i, size)
 	}
 	wg.Wait()

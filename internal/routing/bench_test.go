@@ -1,0 +1,93 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// The BenchmarkSim* family is the routing hot-path budget: Step under a
+// standing load, a full open-loop run, and one routed batch. CI runs them
+// with -benchtime=1x as a smoke; locally run with -benchmem before and
+// after any change to the simulator inner loop (see DESIGN.md).
+
+// standingSim returns a sim on a 2-d mesh with a standing population of
+// packets, the steady-state regime the Step benchmark measures.
+func standingSim(b *testing.B, side, load int) (*Sim, traffic.Distribution, *rand.Rand) {
+	b.Helper()
+	m := topology.Mesh(2, side)
+	e := NewEngine(m, Greedy)
+	rng := rand.New(rand.NewSource(1))
+	s := e.NewSim(rng)
+	dist := traffic.NewSymmetric(m.N())
+	s.Inject(traffic.Batch(dist, load*m.N(), rng))
+	// Warm the distance fields and queue arrays.
+	for i := 0; i < 8; i++ {
+		s.Step()
+	}
+	return s, dist, rng
+}
+
+func BenchmarkSimStep(b *testing.B) {
+	s, dist, rng := standingSim(b, 12, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.InFlight() < 64 {
+			b.StopTimer()
+			s.Inject(traffic.Batch(dist, 4*144, rng))
+			b.StartTimer()
+		}
+		s.Step()
+	}
+}
+
+func BenchmarkSimStepFarthestFirst(b *testing.B) {
+	m := topology.Mesh(2, 12)
+	e := NewEngine(m, Greedy)
+	e.Discipline = FarthestFirst
+	rng := rand.New(rand.NewSource(1))
+	s := e.NewSim(rng)
+	dist := traffic.NewSymmetric(m.N())
+	s.Inject(traffic.Batch(dist, 4*m.N(), rng))
+	for i := 0; i < 8; i++ {
+		s.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.InFlight() < 64 {
+			b.StopTimer()
+			s.Inject(traffic.Batch(dist, 4*144, rng))
+			b.StartTimer()
+		}
+		s.Step()
+	}
+}
+
+func BenchmarkSimOpenLoop(b *testing.B) {
+	m := topology.Mesh(2, 8)
+	e := NewEngine(m, Greedy)
+	dist := traffic.NewSymmetric(m.N())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		e.OpenLoop(dist, 4, 200, rng)
+	}
+}
+
+func BenchmarkSimRoute(b *testing.B) {
+	m := topology.Mesh(2, 8)
+	e := NewEngine(m, Greedy)
+	dist := traffic.NewSymmetric(m.N())
+	rng := rand.New(rand.NewSource(1))
+	batch := traffic.Batch(dist, 4*m.N(), rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Route(batch, rng)
+	}
+}

@@ -83,6 +83,12 @@ type Engine struct {
 
 	distTo map[int][]int // destination -> BFS distance field
 	nbrs   [][]neighbor  // sorted adjacency, for deterministic rng use
+
+	// Directed edges get dense ids: slot k of nbrs[u] is edge edgeBase[u]+k.
+	// Sim uses the ids to keep per-tick wire usage in a flat array instead
+	// of a map.
+	edgeBase []int32
+	numEdges int
 }
 
 type neighbor struct {
@@ -95,12 +101,31 @@ func NewEngine(m *topology.Machine, strategy Strategy) *Engine {
 	e := &Engine{M: m, Strategy: strategy, distTo: make(map[int][]int)}
 	g := m.Graph
 	e.nbrs = make([][]neighbor, g.N())
+	e.edgeBase = make([]int32, g.N()+1)
 	for u := 0; u < g.N(); u++ {
+		e.edgeBase[u] = int32(e.numEdges)
 		for _, v := range g.Neighbors(u) { // sorted
 			e.nbrs[u] = append(e.nbrs[u], neighbor{v: v, mult: g.Multiplicity(u, v)})
 		}
+		e.numEdges += len(e.nbrs[u])
 	}
+	e.edgeBase[g.N()] = int32(e.numEdges)
 	return e
+}
+
+// edgeEnds recovers the (from, to) vertices of a directed edge id.
+func (e *Engine) edgeEnds(id int32) (int, int) {
+	// Binary search the base offsets.
+	lo, hi := 0, len(e.edgeBase)-1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if e.edgeBase[mid] <= id {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, e.nbrs[lo][id-e.edgeBase[lo]].v
 }
 
 func (e *Engine) dist(dst int) []int {
@@ -156,25 +181,30 @@ func (e *Engine) Route(batch []traffic.Message, rng *rand.Rand) Stats {
 }
 
 // pickHop chooses a neighbour of u one step closer to dst whose wire still
-// has capacity this tick, uniformly among the available choices, or -1 if
-// all downhill wires are saturated.
-func (e *Engine) pickHop(u, dst int, edgeUsed map[int64]int64, rng *rand.Rand) int {
+// has capacity this tick, uniformly among the available choices. It returns
+// the chosen vertex and its directed-edge id, or (-1, -1) if all downhill
+// wires are saturated. edgeUsed is indexed by edge id (see edgeBase).
+func (e *Engine) pickHop(u, dst int, edgeUsed []int32, rng *rand.Rand) (int, int32) {
 	d := e.dist(dst)
-	n := e.M.Graph.N()
+	base := e.edgeBase[u]
+	du := d[u] - 1
 	best := -1
+	var bestEdge int32 = -1
 	count := 0
-	for _, nb := range e.nbrs[u] {
-		if d[nb.v] != d[u]-1 {
+	for k, nb := range e.nbrs[u] {
+		if d[nb.v] != du {
 			continue
 		}
-		if edgeUsed[int64(u)*int64(n)+int64(nb.v)] >= nb.mult {
+		id := base + int32(k)
+		if int64(edgeUsed[id]) >= nb.mult {
 			continue
 		}
 		// Reservoir-sample uniformly among available downhill neighbours.
 		count++
 		if rng.Intn(count) == 0 {
 			best = nb.v
+			bestEdge = id
 		}
 	}
-	return best
+	return best, bestEdge
 }

@@ -1,0 +1,143 @@
+package routing
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Histogram bucket layout: values below histLinear get exact unit-width
+// buckets; above that each power-of-two octave is split into histSub
+// sub-buckets, so the relative bucket width is bounded by 1/histSub.
+const (
+	histLinear    = 1 << 8 // exact buckets for values in [0, histLinear)
+	histSub       = 1 << 7 // sub-buckets per octave above histLinear
+	histLinearLog = 8      // log2(histLinear)
+	histSubLog    = 7      // log2(histSub)
+)
+
+// Histogram is a streaming histogram of non-negative integer samples
+// (latencies in ticks, queue lengths). Record is O(1) and allocation-free
+// once the backing array has grown to cover the running maximum; Quantile
+// is O(buckets). Values below 256 are recorded exactly; larger values land
+// in log-scale buckets with relative width <= 1/128, so any quantile is
+// exact below 256 and within one bucket width (<1% relative) above.
+//
+// The zero value is ready to use.
+type Histogram struct {
+	counts []int64
+	total  int64
+	sum    int64
+	max    int
+}
+
+// histBucket maps a sample value to its bucket index.
+func histBucket(v int) int {
+	if v < histLinear {
+		return v
+	}
+	exp := bits.Len(uint(v)) - 1 // v in [2^exp, 2^(exp+1))
+	base := histLinear + (exp-histLinearLog)*histSub
+	return base + int((uint(v)-(1<<uint(exp)))>>uint(exp-histSubLog))
+}
+
+// histBucketHigh returns the largest value that maps to bucket b — the
+// value Quantile reports for samples landing in b.
+func histBucketHigh(b int) int {
+	if b < histLinear {
+		return b
+	}
+	b -= histLinear
+	exp := histLinearLog + b/histSub
+	sub := b % histSub
+	width := 1 << uint(exp-histSubLog)
+	return (1 << uint(exp)) + (sub+1)*width - 1
+}
+
+// Record adds one sample. Negative samples are clamped to 0.
+func (h *Histogram) Record(v int) {
+	if v < 0 {
+		v = 0
+	}
+	b := histBucket(v)
+	if b >= len(h.counts) {
+		grown := make([]int64, b+b/2+8)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[b]++
+	h.total++
+	h.sum += int64(v)
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Max returns the largest recorded sample (0 if empty).
+func (h *Histogram) Max() int { return h.max }
+
+// Mean returns the exact mean of the recorded samples (0 if empty).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Quantile returns the nearest-rank p-quantile (0 < p <= 1) of the
+// recorded samples: the smallest bucket upper bound whose cumulative count
+// reaches ceil(p * total). Exact for samples below 256; otherwise within
+// one bucket width of the exact sorted quantile. Returns 0 if empty;
+// p outside (0, 1] is clamped.
+func (h *Histogram) Quantile(p float64) int {
+	if h.total == 0 {
+		return 0
+	}
+	if p <= 0 {
+		p = math.SmallestNonzeroFloat64
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := int64(math.Ceil(p * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for b, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			if hi := histBucketHigh(b); hi < h.max {
+				return hi
+			}
+			return h.max
+		}
+	}
+	return h.max
+}
+
+// HistBucket is one non-empty bucket of an exported histogram.
+type HistBucket struct {
+	// Low and High are the inclusive value range of the bucket.
+	Low   int   `json:"low"`
+	High  int   `json:"high"`
+	Count int64 `json:"count"`
+}
+
+// Buckets returns the non-empty buckets in increasing value order.
+func (h *Histogram) Buckets() []HistBucket {
+	var out []HistBucket
+	for b, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		low := 0
+		if b > 0 {
+			low = histBucketHigh(b-1) + 1
+		}
+		out = append(out, HistBucket{Low: low, High: histBucketHigh(b), Count: c})
+	}
+	return out
+}

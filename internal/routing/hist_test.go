@@ -1,0 +1,115 @@
+package routing
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestHistogramExactBelowLinearRange(t *testing.T) {
+	var h Histogram
+	for v := 1; v <= 100; v++ {
+		h.Record(v)
+	}
+	for _, p := range []float64{0.01, 0.25, 0.5, 0.75, 0.9, 1.0} {
+		want := int(math.Ceil(p * 100)) // values are 1..100, nearest rank
+		if got := h.Quantile(p); got != want {
+			t.Errorf("Quantile(%v) = %d, want %d", p, got, want)
+		}
+	}
+	if h.Count() != 100 || h.Max() != 100 {
+		t.Fatalf("count %d max %d", h.Count(), h.Max())
+	}
+	if got := h.Mean(); got != 50.5 {
+		t.Fatalf("mean %v, want 50.5", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("zero-value histogram not empty")
+	}
+}
+
+// histWidth returns the width of the bucket containing v.
+func histWidth(v int) int {
+	b := histBucket(v)
+	low := 0
+	if b > 0 {
+		low = histBucketHigh(b-1) + 1
+	}
+	return histBucketHigh(b) - low + 1
+}
+
+// Property (ISSUE satellite): streaming-histogram quantiles match exact
+// sorted nearest-rank quantiles within one bucket width, across samples
+// well above the exact range.
+func TestHistogramQuantileWithinBucketOfExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 50 + rng.Intn(2000)
+		scale := []int{10, 300, 5000, 100000}[trial%4]
+		var h Histogram
+		samples := make([]int, n)
+		for i := range samples {
+			v := rng.Intn(scale)
+			if rng.Intn(4) == 0 {
+				v = rng.Intn(10 * scale) // heavy tail
+			}
+			samples[i] = v
+			h.Record(v)
+		}
+		sort.Ints(samples)
+		for _, p := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0} {
+			exact := samples[int(math.Ceil(p*float64(n)))-1]
+			got := h.Quantile(p)
+			if got < exact {
+				t.Fatalf("trial %d: Quantile(%v) = %d below exact %d", trial, p, got, exact)
+			}
+			if got-exact > histWidth(exact) {
+				t.Fatalf("trial %d: Quantile(%v) = %d, exact %d, off by more than bucket width %d",
+					trial, p, got, exact, histWidth(exact))
+			}
+		}
+	}
+}
+
+func TestHistogramBucketRoundTrip(t *testing.T) {
+	// Every value maps into a bucket whose [low, high] range contains it,
+	// and bucket indices are monotone in the value.
+	prev := -1
+	for v := 0; v < 1<<20; v += 1 + v/97 {
+		b := histBucket(v)
+		if b < prev {
+			t.Fatalf("bucket index not monotone at %d", v)
+		}
+		prev = b
+		low := 0
+		if b > 0 {
+			low = histBucketHigh(b-1) + 1
+		}
+		if v < low || v > histBucketHigh(b) {
+			t.Fatalf("value %d outside bucket %d range [%d, %d]", v, b, low, histBucketHigh(b))
+		}
+	}
+}
+
+func TestHistogramBucketsSumToCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h Histogram
+	for i := 0; i < 5000; i++ {
+		h.Record(rng.Intn(100000))
+	}
+	var sum int64
+	for _, b := range h.Buckets() {
+		if b.Low > b.High {
+			t.Fatalf("bad bucket %+v", b)
+		}
+		sum += b.Count
+	}
+	if sum != h.Count() {
+		t.Fatalf("bucket counts sum to %d, want %d", sum, h.Count())
+	}
+}

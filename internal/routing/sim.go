@@ -3,7 +3,6 @@ package routing
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"repro/internal/traffic"
 )
@@ -11,6 +10,12 @@ import (
 // Sim is an incremental simulation: messages can be injected while the
 // machine runs, which is what the open-loop (steady-state) bandwidth
 // measurements need. Route is a batch wrapper around it.
+//
+// The inner loop is allocation-free at steady state: per-tick wire usage
+// lives in a flat array cleared through a touched-list, per-vertex queues
+// reuse their backing arrays, and delivery latencies stream into a bucketed
+// histogram instead of an ever-growing slice (see TestStepSteadyStateAllocs
+// for the enforced budget).
 type Sim struct {
 	eng *Engine
 	rng *rand.Rand
@@ -18,18 +23,24 @@ type Sim struct {
 	queues   [][]simPacket
 	active   []int
 	inActive []bool
-	edgeUsed map[int64]int64
+	edgeUsed []int32 // per directed edge id, usage this tick
+	touched  []int32 // edge ids with non-zero usage this tick
 	arrivals []simPacket
+	sortKeys []int          // FarthestFirst scratch: remaining distances
+	shuffle  func(i, j int) // active-list swap, hoisted to avoid per-tick closures
 
 	now int // current tick
 
 	// Counters.
-	injected   int
-	delivered  int
-	totalHops  int64
-	latencySum int64
-	latencies  []int
-	maxQueue   int
+	injected     int
+	delivered    int
+	totalHops    int64
+	latencySum   int64
+	latHist      Histogram
+	maxQueue     int
+	injectedTick int // injections since the last Step, for the stats series
+
+	stats *statsRec // nil unless EnableStats was called
 }
 
 type simPacket struct {
@@ -40,13 +51,16 @@ type simPacket struct {
 // NewSim returns a fresh simulation on the engine's machine.
 func (e *Engine) NewSim(rng *rand.Rand) *Sim {
 	n := e.M.Graph.N()
-	return &Sim{
+	s := &Sim{
 		eng:      e,
 		rng:      rng,
 		queues:   make([][]simPacket, n),
 		inActive: make([]bool, n),
-		edgeUsed: make(map[int64]int64),
+		edgeUsed: make([]int32, e.numEdges),
+		touched:  make([]int32, 0, 64),
 	}
+	s.shuffle = func(i, j int) { s.active[i], s.active[j] = s.active[j], s.active[i] }
+	return s
 }
 
 // Now returns the current tick.
@@ -73,27 +87,16 @@ func (s *Sim) MeanLatency() float64 {
 // MaxQueue returns the largest per-vertex queue seen so far.
 func (s *Sim) MaxQueue() int { return s.maxQueue }
 
-// LatencyPercentile returns the p-th percentile (0 < p <= 1) of delivery
-// latencies observed so far, or 0 if nothing was delivered.
+// LatencyPercentile returns the nearest-rank p-th percentile (0 < p <= 1)
+// of delivery latencies observed so far, or 0 if nothing was delivered.
+// Latencies stream into a bucketed histogram, so the answer is exact below
+// 256 ticks and within one bucket width (<1% relative) above.
 func (s *Sim) LatencyPercentile(p float64) int {
-	if len(s.latencies) == 0 {
-		return 0
-	}
-	if p <= 0 {
-		p = 0.01
-	}
-	if p > 1 {
-		p = 1
-	}
-	sorted := make([]int, len(s.latencies))
-	copy(sorted, s.latencies)
-	sort.Ints(sorted)
-	idx := int(p*float64(len(sorted))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	return sorted[idx]
+	return s.latHist.Quantile(p)
 }
+
+// LatencyHistogram exposes the streaming delivery-latency histogram.
+func (s *Sim) LatencyHistogram() *Histogram { return &s.latHist }
 
 func (s *Sim) push(p simPacket) {
 	if len(s.queues[p.at]) == 0 && !s.inActive[p.at] {
@@ -103,26 +106,41 @@ func (s *Sim) push(p simPacket) {
 	s.queues[p.at] = append(s.queues[p.at], p)
 }
 
+func (s *Sim) injectOne(m traffic.Message) {
+	if m.Src == m.Dst {
+		panic(fmt.Sprintf("routing: self-message %+v", m))
+	}
+	if !s.eng.M.IsProcessor(m.Src) || !s.eng.M.IsProcessor(m.Dst) {
+		panic(fmt.Sprintf("routing: message %+v endpoints must be processors", m))
+	}
+	p := simPacket{packet: packet{at: m.Src, dst: m.Dst, finalDst: m.Dst}, born: s.now}
+	if s.eng.Strategy == Valiant {
+		mid := s.rng.Intn(s.eng.M.N())
+		if mid != m.Src && mid != m.Dst {
+			p.dst = mid
+			p.phase1 = true
+		}
+	}
+	s.injected++
+	s.injectedTick++
+	s.push(p)
+}
+
 // Inject adds messages at the current tick. Sources and destinations must
 // be processors; self-messages are rejected.
 func (s *Sim) Inject(batch []traffic.Message) {
 	for _, m := range batch {
-		if m.Src == m.Dst {
-			panic(fmt.Sprintf("routing: self-message %+v", m))
-		}
-		if !s.eng.M.IsProcessor(m.Src) || !s.eng.M.IsProcessor(m.Dst) {
-			panic(fmt.Sprintf("routing: message %+v endpoints must be processors", m))
-		}
-		p := simPacket{packet: packet{at: m.Src, dst: m.Dst, finalDst: m.Dst}, born: s.now}
-		if s.eng.Strategy == Valiant {
-			mid := s.rng.Intn(s.eng.M.N())
-			if mid != m.Src && mid != m.Dst {
-				p.dst = mid
-				p.phase1 = true
-			}
-		}
-		s.injected++
-		s.push(p)
+		s.injectOne(m)
+	}
+}
+
+// InjectSampled draws k messages from dist using the sim's rng and injects
+// them at the current tick — equivalent to Inject(traffic.Batch(dist, k,
+// rng)) without materialising the batch slice. The open-loop driver uses it
+// to keep the per-tick loop allocation-free.
+func (s *Sim) InjectSampled(dist traffic.Distribution, k int) {
+	for i := 0; i < k; i++ {
+		s.injectOne(dist.Sample(s.rng))
 	}
 }
 
@@ -130,22 +148,21 @@ func (s *Sim) Inject(batch []traffic.Message) {
 // delivered during it.
 func (s *Sim) Step() int {
 	s.now++
-	for k := range s.edgeUsed {
-		delete(s.edgeUsed, k)
+	injectedThisTick := s.injectedTick
+	s.injectedTick = 0
+	for _, id := range s.touched {
+		s.edgeUsed[id] = 0
 	}
+	s.touched = s.touched[:0]
 	s.arrivals = s.arrivals[:0]
-	n := s.eng.M.Graph.N()
-	s.rng.Shuffle(len(s.active), func(i, j int) { s.active[i], s.active[j] = s.active[j], s.active[i] })
+	s.rng.Shuffle(len(s.active), s.shuffle)
 	for _, u := range s.active {
 		q := s.queues[u]
 		if len(q) > s.maxQueue {
 			s.maxQueue = len(q)
 		}
 		if s.eng.Discipline == FarthestFirst && len(q) > 1 {
-			// Stable sort by remaining distance, descending.
-			sort.SliceStable(q, func(i, j int) bool {
-				return s.eng.dist(q[i].dst)[u] > s.eng.dist(q[j].dst)[u]
-			})
+			s.sortFarthestFirst(u, q)
 		}
 		capLeft := s.eng.M.Cap(u)
 		kept := q[:0]
@@ -154,12 +171,18 @@ func (s *Sim) Step() int {
 				kept = append(kept, q[qi:]...)
 				break
 			}
-			h := s.eng.pickHop(u, p.dst, s.edgeUsed, s.rng)
+			h, edge := s.eng.pickHop(u, p.dst, s.edgeUsed, s.rng)
 			if h < 0 {
 				kept = append(kept, p)
 				continue
 			}
-			s.edgeUsed[int64(u)*int64(n)+int64(h)]++
+			if s.edgeUsed[edge] == 0 {
+				s.touched = append(s.touched, edge)
+			}
+			s.edgeUsed[edge]++
+			if s.stats != nil {
+				s.stats.edgeTotals[edge]++
+			}
 			if capLeft > 0 {
 				capLeft--
 			}
@@ -188,14 +211,38 @@ func (s *Sim) Step() int {
 				continue
 			}
 			s.delivered++
-			s.latencySum += int64(s.now - p.born)
-			s.latencies = append(s.latencies, s.now-p.born)
+			lat := s.now - p.born
+			s.latencySum += int64(lat)
+			s.latHist.Record(lat)
 			deliveredNow++
 			continue
 		}
 		s.push(p)
 	}
+	if s.stats != nil {
+		s.stats.observeTick(s, injectedThisTick, deliveredNow)
+	}
 	return deliveredNow
+}
+
+// sortFarthestFirst stably sorts q (in place) by remaining distance to the
+// current target, descending — an insertion sort over a scratch key array,
+// so the hot path stays closure- and allocation-free.
+func (s *Sim) sortFarthestFirst(u int, q []simPacket) {
+	keys := s.sortKeys[:0]
+	for _, p := range q {
+		keys = append(keys, s.eng.dist(p.dst)[u])
+	}
+	s.sortKeys = keys
+	for i := 1; i < len(q); i++ {
+		k, p := keys[i], q[i]
+		j := i - 1
+		for j >= 0 && keys[j] < k {
+			keys[j+1], q[j+1] = keys[j], q[j]
+			j--
+		}
+		keys[j+1], q[j+1] = k, p
+	}
 }
 
 // OpenLoopResult reports a steady-state run at a fixed injection rate.
@@ -218,10 +265,28 @@ type OpenLoopResult struct {
 // the achieved steady-state throughput. The first quarter of the run is
 // treated as warm-up and excluded from the throughput/latency window.
 func (e *Engine) OpenLoop(dist traffic.Distribution, rate float64, ticks int, rng *rand.Rand) OpenLoopResult {
+	res, _ := e.openLoop(dist, rate, ticks, rng, nil)
+	return res
+}
+
+// OpenLoopSnapshot runs OpenLoop with full instrumentation enabled and
+// additionally returns the Snapshot (per-tick series, queue-occupancy
+// histogram, top-k edge utilization, latency quantiles). topK bounds the
+// edge list; <= 0 means 10.
+func (e *Engine) OpenLoopSnapshot(dist traffic.Distribution, rate float64, ticks int, rng *rand.Rand, topK int) (OpenLoopResult, Snapshot) {
+	s := e.NewSim(rng)
+	s.EnableStats()
+	res, _ := e.openLoop(dist, rate, ticks, rng, s)
+	return res, s.Snapshot(topK)
+}
+
+func (e *Engine) openLoop(dist traffic.Distribution, rate float64, ticks int, rng *rand.Rand, s *Sim) (OpenLoopResult, *Sim) {
 	if rate <= 0 || ticks < 8 {
 		panic(fmt.Sprintf("routing: bad open-loop parameters rate=%v ticks=%d", rate, ticks))
 	}
-	s := e.NewSim(rng)
+	if s == nil {
+		s = e.NewSim(rng)
+	}
 	warmup := ticks / 4
 	var acc float64
 	deliveredWindow := 0
@@ -232,7 +297,7 @@ func (e *Engine) OpenLoop(dist traffic.Distribution, rate float64, ticks int, rn
 		k := int(acc)
 		acc -= float64(k)
 		if k > 0 {
-			s.Inject(traffic.Batch(dist, k, rng))
+			s.InjectSampled(dist, k)
 		}
 		before := s.latencySum
 		beforeCount := s.delivered
@@ -260,7 +325,7 @@ func (e *Engine) OpenLoop(dist traffic.Distribution, rate float64, ticks int, rn
 	res.P95Latency = s.LatencyPercentile(0.95)
 	// Stability: backlog bounded by a few ticks' worth of injections.
 	res.Stable = float64(res.Backlog) <= 8*rate+16
-	return res
+	return res, s
 }
 
 // SaturationRate binary-searches the largest stable injection rate in

@@ -1,0 +1,168 @@
+package routing
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// statsRec holds the optional per-tick instrumentation of a Sim. It is nil
+// unless EnableStats is called, so uninstrumented runs pay nothing beyond a
+// nil check per tick and per hop.
+type statsRec struct {
+	injectedSeries  []int
+	deliveredSeries []int
+	queueOcc        Histogram // queue length per vertex, sampled every tick
+	edgeTotals      []int64   // cumulative traversals per directed edge id
+}
+
+// EnableStats turns on per-tick instrumentation: injected/delivered series,
+// a queue-occupancy histogram sampled every tick, and cumulative per-edge
+// traversal counts. Call before the first Step; Snapshot reads it back.
+func (s *Sim) EnableStats() {
+	if s.stats == nil {
+		s.stats = &statsRec{edgeTotals: make([]int64, s.eng.numEdges)}
+	}
+}
+
+// observeTick records the per-tick series and samples queue occupancy.
+func (r *statsRec) observeTick(s *Sim, injected, delivered int) {
+	r.injectedSeries = append(r.injectedSeries, injected)
+	r.deliveredSeries = append(r.deliveredSeries, delivered)
+	occupied := 0
+	for _, u := range s.active {
+		r.queueOcc.Record(len(s.queues[u]))
+		occupied++
+	}
+	for i := occupied; i < len(s.queues); i++ {
+		r.queueOcc.Record(0)
+	}
+}
+
+// EdgeLoad is one directed wire's cumulative utilization.
+type EdgeLoad struct {
+	From    int     `json:"from"`
+	To      int     `json:"to"`
+	Count   int64   `json:"count"`
+	PerTick float64 `json:"per_tick"`
+}
+
+// QuantilePoint is one latency quantile of a Snapshot.
+type QuantilePoint struct {
+	P     float64 `json:"p"`
+	Ticks int     `json:"ticks"`
+}
+
+// Snapshot is a point-in-time export of a Sim's statistical state: global
+// counters, latency quantiles from the streaming histogram, the sampled
+// queue-occupancy histogram, top-k edge utilization, and (when stats are
+// enabled) the per-tick injected/delivered series. It is the observability
+// surface behind the -stats flag of cmd/betameter and cmd/emusim; the JSON
+// schema is locked by a golden test.
+type Snapshot struct {
+	Machine          string          `json:"machine"`
+	Ticks            int             `json:"ticks"`
+	Injected         int             `json:"injected"`
+	Delivered        int             `json:"delivered"`
+	Backlog          int             `json:"backlog"`
+	TotalHops        int64           `json:"total_hops"`
+	MaxQueue         int             `json:"max_queue"`
+	MeanLatency      float64         `json:"mean_latency"`
+	LatencyQuantiles []QuantilePoint `json:"latency_quantiles"`
+	QueueOccupancy   []HistBucket    `json:"queue_occupancy,omitempty"`
+	TopEdges         []EdgeLoad      `json:"top_edges,omitempty"`
+	InjectedSeries   []int           `json:"injected_series,omitempty"`
+	DeliveredSeries  []int           `json:"delivered_series,omitempty"`
+}
+
+var snapshotQuantiles = []float64{0.50, 0.90, 0.95, 0.99, 1.0}
+
+// Snapshot captures the sim's current statistics. topK bounds the edge
+// utilization list (<= 0 means 10); the per-tick series and queue/edge
+// sections are present only if EnableStats was called before stepping.
+func (s *Sim) Snapshot(topK int) Snapshot {
+	if topK <= 0 {
+		topK = 10
+	}
+	sn := Snapshot{
+		Machine:     s.eng.M.Name,
+		Ticks:       s.now,
+		Injected:    s.injected,
+		Delivered:   s.delivered,
+		Backlog:     s.InFlight(),
+		TotalHops:   s.totalHops,
+		MaxQueue:    s.maxQueue,
+		MeanLatency: s.MeanLatency(),
+	}
+	for _, p := range snapshotQuantiles {
+		sn.LatencyQuantiles = append(sn.LatencyQuantiles, QuantilePoint{P: p, Ticks: s.latHist.Quantile(p)})
+	}
+	if r := s.stats; r != nil {
+		sn.QueueOccupancy = r.queueOcc.Buckets()
+		sn.InjectedSeries = r.injectedSeries
+		sn.DeliveredSeries = r.deliveredSeries
+		sn.TopEdges = topEdges(s.eng, r.edgeTotals, topK, s.now)
+	}
+	return sn
+}
+
+// topEdges returns the k busiest directed edges, ties broken by edge id so
+// the result is deterministic.
+func topEdges(e *Engine, totals []int64, k, ticks int) []EdgeLoad {
+	ids := make([]int32, 0, len(totals))
+	for id, c := range totals {
+		if c > 0 {
+			ids = append(ids, int32(id))
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if totals[ids[i]] != totals[ids[j]] {
+			return totals[ids[i]] > totals[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	if len(ids) > k {
+		ids = ids[:k]
+	}
+	out := make([]EdgeLoad, 0, len(ids))
+	for _, id := range ids {
+		u, v := e.edgeEnds(id)
+		load := EdgeLoad{From: u, To: v, Count: totals[id]}
+		if ticks > 0 {
+			load.PerTick = float64(totals[id]) / float64(ticks)
+		}
+		out = append(out, load)
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as indented JSON (the schema locked by the
+// golden test in the root package).
+func (sn Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sn)
+}
+
+// WriteCSV writes the per-tick series as CSV rows (tick, injected,
+// delivered). It requires stats to have been enabled, returning an error
+// otherwise.
+func (sn Snapshot) WriteCSV(w io.Writer) error {
+	if len(sn.DeliveredSeries) == 0 {
+		return fmt.Errorf("routing: snapshot has no per-tick series (EnableStats not called)")
+	}
+	if _, err := fmt.Fprintln(w, "tick,injected,delivered"); err != nil {
+		return err
+	}
+	for t := range sn.DeliveredSeries {
+		inj := 0
+		if t < len(sn.InjectedSeries) {
+			inj = sn.InjectedSeries[t]
+		}
+		if _, err := fmt.Fprintf(w, "%d,%d,%d\n", t+1, inj, sn.DeliveredSeries[t]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
