@@ -3,21 +3,29 @@
 // curve β(G)/β(H) as the host size varies, their crossover (the largest
 // efficient host), and optionally a measured-emulation column.
 //
+// With -measure, the per-host-size emulations and β measurements run as
+// jobs on the deterministic experiment orchestrator: each job's randomness
+// is keyed by its identity (host size), so the printed numbers are
+// identical at any -workers value, and the guest's β is measured once and
+// served from the orchestrator's cache for every row.
+//
 // Usage:
 //
 //	crossover [-guest DeBruijn] [-gdim 2] [-gsize 1024]
 //	          [-host Mesh] [-hdim 2] [-points 12] [-measure] [-steps 3]
+//	          [-workers N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
-	"math"
 	"math/rand"
 	"os"
 
 	"repro"
+	"repro/internal/core"
+	"repro/internal/experiment"
 	"repro/internal/plot"
 	"repro/internal/topology"
 )
@@ -35,6 +43,7 @@ func main() {
 	steps := flag.Int("steps", 3, "guest steps for -measure")
 	doPlot := flag.Bool("plot", false, "render an ASCII log-log chart of the two curves")
 	seed := flag.Int64("seed", 1, "rng seed")
+	workers := flag.Int("workers", 0, "concurrent measurement jobs (0 = GOMAXPROCS); output is identical at any value")
 	flag.Parse()
 
 	gf := family(*guestName)
@@ -47,26 +56,50 @@ func main() {
 		log.Fatal(err)
 	}
 	n := float64(*gsize)
-	var sizes []float64
-	for i := 0; i < *points; i++ {
-		frac := float64(i) / float64(*points-1)
-		sizes = append(sizes, math.Round(4*math.Pow(n/4, frac)))
+	sizes, err := core.HostSizeGrid(n, *points)
+	if err != nil {
+		log.Fatal(err)
 	}
 	fmt.Printf("Figure 1 data: %v guest (n=%d) on %v hosts\n\n", bound.Guest, *gsize, bound.Host)
 	header := fmt.Sprintf("%-8s %14s %14s", "|H|", "load n/m", "comm β_G/β_H")
 	if *measure {
-		header += fmt.Sprintf(" %14s", "measured S")
+		header += fmt.Sprintf(" %14s %14s", "measured S", "measured β_G/β_H")
 	}
 	fmt.Println(header)
 
-	rng := rand.New(rand.NewSource(*seed))
-	guest := topology.Build(gf, *gdim, *gsize, rng)
-	for _, pts := range bound.Curve(n, sizes) {
+	curve := bound.Curve(n, sizes)
+
+	// With -measure, every host size becomes two orchestrator jobs (an
+	// emulation and a host β measurement) plus one shared guest β job; all
+	// randomness is keyed by job identity, so rows are reproducible at any
+	// worker count, and repeated sizes hit the β cache instead of the
+	// simulator.
+	type measured struct{ slowdown, betaRatio float64 }
+	var rows []*experiment.Future[measured]
+	if *measure {
+		r := experiment.New(*seed, *workers)
+		opts := netemu.MeasureOptions{}
+		guestBeta := r.BetaFuture(gf, *gdim, *gsize, opts)
+		for _, pts := range curve {
+			m := int(pts.M)
+			key := fmt.Sprintf("crossover/%d", m)
+			hostBeta := r.BetaFuture(hf, *hdim, m, opts)
+			rows = append(rows, experiment.Go(r, key, func(rng *rand.Rand) measured {
+				guest := topology.Build(gf, *gdim, *gsize, rng)
+				host := topology.Build(hf, *hdim, m, rng)
+				res := netemu.Emulate(guest, host, *steps, rng.Int63())
+				return measured{
+					slowdown:  res.Slowdown,
+					betaRatio: guestBeta.Wait().Beta / hostBeta.Wait().Beta,
+				}
+			}))
+		}
+	}
+	for i, pts := range curve {
 		line := fmt.Sprintf("%-8.0f %14.2f %14.2f", pts.M, pts.Load, pts.Comm)
 		if *measure {
-			host := topology.Build(hf, *hdim, int(pts.M), rng)
-			res := netemu.Emulate(guest, host, *steps, *seed)
-			line += fmt.Sprintf(" %14.2f", res.Slowdown)
+			got := rows[i].Wait()
+			line += fmt.Sprintf(" %14.2f %14.2f", got.slowdown, got.betaRatio)
 		}
 		fmt.Println(line)
 	}
@@ -75,7 +108,6 @@ func main() {
 	fmt.Printf("max efficient host (symbolic): %s\n", bound.MaxHostString())
 
 	if *doPlot {
-		curve := bound.Curve(n, sizes)
 		load := plot.Series{Name: "load n/m", Marker: '*'}
 		comm := plot.Series{Name: "comm β_G/β_H", Marker: 'o'}
 		for _, p := range curve {

@@ -4,23 +4,21 @@
 // crossover, the emulation-matrix bound checks, bottleneck audits, the
 // Theorem 6 equivalence, and the prior-work baseline comparison.
 //
+// Sections run as jobs on the deterministic experiment orchestrator
+// (internal/experiment): the output is byte-identical at any -workers
+// value, so parallelism is free.
+//
 // Usage:
 //
-//	report [-quick] [-seed 1] [-o report.md]
+//	report [-quick] [-seed 1] [-workers N] [-o report.md]
 package main
 
 import (
 	"flag"
-	"fmt"
-	"io"
 	"log"
-	"math/rand"
 	"os"
 
-	"repro"
-	"repro/internal/bandwidth"
-	"repro/internal/core"
-	"repro/internal/topology"
+	"repro/internal/report"
 )
 
 func main() {
@@ -28,10 +26,11 @@ func main() {
 	log.SetPrefix("report: ")
 	quick := flag.Bool("quick", false, "smaller sweeps for a fast run")
 	seed := flag.Int64("seed", 1, "rng seed")
+	workers := flag.Int("workers", 0, "concurrent measurement jobs (0 = GOMAXPROCS); output is identical at any value")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
-	w := io.Writer(os.Stdout)
+	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
@@ -44,294 +43,7 @@ func main() {
 		}()
 		w = f
 	}
-	r := &reporter{w: w, rng: rand.New(rand.NewSource(*seed)), quick: *quick}
-	r.run()
-}
-
-type reporter struct {
-	w     io.Writer
-	rng   *rand.Rand
-	quick bool
-}
-
-func (r *reporter) printf(format string, args ...interface{}) {
-	fmt.Fprintf(r.w, format, args...)
-}
-
-func (r *reporter) run() {
-	r.printf("# Reproduction report\n\n")
-	r.printf("Kruskal & Rappoport, *Bandwidth-Based Lower Bounds on Slowdown for Efficient\n")
-	r.printf("Emulations of Fixed-Connection Networks*, SPAA 1994.\n\n")
-	r.table4()
-	r.tables123()
-	r.figure1()
-	r.emulationMatrix()
-	r.bottleneck()
-	r.theorem6()
-	r.baselines()
-	r.patterns()
-	r.faults()
-}
-
-func (r *reporter) patterns() {
-	r.printf("\n## Conclusion extension: algorithms as communication patterns\n\n")
-	r.printf("Lemma 8 time bounds vs measured delivery for classic algorithm\n")
-	r.printf("patterns on equal-size (n=64) hosts:\n\n")
-	pats := []netemu.Pattern{
-		netemu.NewFFTPattern(6),
-		netemu.NewBitonicPattern(6),
-		netemu.NewPrefixPattern(6),
-		netemu.NewAllToAllPattern(64),
-	}
-	hosts := []*netemu.Machine{
-		netemu.NewDeBruijn(6),
-		netemu.NewMesh(2, 8),
-		netemu.NewLinearArray(64),
-	}
-	r.printf("| pattern | host | bound | measured |\n|---|---|---|---|\n")
-	for _, p := range pats {
-		for _, h := range hosts {
-			bound := netemu.PatternBound(p, h, r.rng.Int63())
-			ticks := netemu.MeasurePattern(p, h, r.rng.Int63())
-			r.printf("| %s | %s | %.1f | %d |\n", p.Name, h.Name, bound, ticks)
-		}
-	}
-	r.printf("\nDense patterns blow up on bandwidth-poor hosts; the sparse prefix\n")
-	r.printf("pattern stays cheap everywhere.\n")
-}
-
-func (r *reporter) faults() {
-	r.printf("\n## Fault tolerance: butterfly vs multibutterfly\n\n")
-	r.printf("30%% of wires deleted; survival = processors in the largest\n")
-	r.printf("component, β measured on the survivor:\n\n")
-	r.printf("| machine | survival | surviving β |\n|---|---|---|\n")
-	for _, which := range []string{"Butterfly", "Multibutterfly"} {
-		var m *netemu.Machine
-		if which == "Butterfly" {
-			m = netemu.NewButterfly(5)
-		} else {
-			m = netemu.NewMultibutterfly(5, r.rng.Int63())
-		}
-		d := netemu.DegradeEdges(m, 0.3, r.rng.Int63())
-		surv := netemu.SurvivalFraction(d)
-		beta := netemu.MeasureBeta(netemu.Survivor(d), netemu.MeasureOptions{}, r.rng.Int63()).Beta
-		r.printf("| %s | %.3f | %.1f |\n", which, surv, beta)
-	}
-	r.printf("\nThe multibutterfly's expander splitters keep both its processors and\n")
-	r.printf("its bandwidth; the butterfly's unique-path structure crumbles.\n")
-}
-
-func (r *reporter) table4() {
-	r.printf("## Table 4: bandwidth β per machine — paper vs measured\n\n")
-	r.printf("The exponent column fits measured β across a size sweep to\n")
-	r.printf("`β ~ n^a`; the paper column shows the Θ-form's leading exponent.\n")
-	r.printf("Butterfly-class machines (β = Θ(n/lg n)) have an *effective*\n")
-	r.printf("exponent of ~1 − 1/ln(n) at finite sizes, i.e. ≈ 0.8 here.\n\n")
-	type entry struct {
-		family   netemu.Family
-		dim      int
-		sizes    []int
-		paperExp string
-		paper    string
-	}
-	entries := []entry{
-		{netemu.LinearArray, 0, []int{32, 64, 128, 256}, "0", "Θ(1)"},
-		{netemu.Tree, 0, []int{31, 63, 127, 255}, "0", "Θ(1)"},
-		{netemu.XTree, 0, []int{31, 63, 127, 255}, "0 (+lg)", "Θ(lg n)"},
-		{netemu.Mesh, 2, []int{64, 144, 256, 576}, "0.50", "Θ(n^{1/2})"},
-		{netemu.Mesh, 3, []int{64, 216, 512}, "0.67", "Θ(n^{2/3})"},
-		{netemu.MeshOfTrees, 2, []int{40, 176, 736}, "0.50", "Θ(n^{1/2})"},
-		{netemu.Pyramid, 2, []int{21, 85, 341}, "0.50", "Θ(n^{1/2})"},
-		{netemu.Butterfly, 0, []int{64, 192, 448}, "~0.8", "Θ(n/lg n)"},
-		{netemu.DeBruijn, 0, []int{64, 128, 256, 512}, "~0.8", "Θ(n/lg n)"},
-		{netemu.ShuffleExchange, 0, []int{64, 128, 256}, "~0.8", "Θ(n/lg n)"},
-		{netemu.CubeConnectedCycles, 0, []int{64, 160, 384}, "~0.8", "Θ(n/lg n)"},
-		{netemu.WeakHypercube, 0, []int{64, 128, 256}, "~0.8", "Θ(n/lg n)"},
-	}
-	if r.quick {
-		for i := range entries {
-			if len(entries[i].sizes) > 3 {
-				entries[i].sizes = entries[i].sizes[:3]
-			}
-		}
-	}
-	opts := netemu.MeasureOptions{LoadFactors: []int{2, 4, 8}, Trials: 2}
-	r.printf("| machine | paper β | paper exp | fitted exp | β at largest n |\n")
-	r.printf("|---|---|---|---|---|\n")
-	for _, e := range entries {
-		var pts []bandwidth.SweepPoint
-		for _, size := range e.sizes {
-			m := topology.Build(e.family, e.dim, size, r.rng)
-			meas := bandwidth.MeasureSymmetricBeta(m, opts, r.rng)
-			pts = append(pts, bandwidth.SweepPoint{N: m.N(), Beta: meas.Beta})
-		}
-		a, _, _, _ := bandwidth.FitGrowth(pts)
-		name := e.family.String()
-		if e.family.Dimensioned() {
-			name = fmt.Sprintf("%v^%d", e.family, e.dim)
-		}
-		last := pts[len(pts)-1]
-		r.printf("| %s | %s | %s | %.2f | %.1f (n=%d) |\n",
-			name, e.paper, e.paperExp, a, last.Beta, last.N)
-	}
-	r.printf("\nPyramids and multigrids need a caveat: *every shortest path* between\n")
-	r.printf("far processors funnels through the apex, so the greedy shortest-path\n")
-	r.printf("router is apex-limited and understates β. The paper's β is a supremum\n")
-	r.printf("over routings; the congestion-aware rerouting estimator recovers the\n")
-	r.printf("mesh-grade scaling:\n\n")
-	r.printf("| machine | n | shortest-path β | rerouted β |\n|---|---|---|---|\n")
-	for _, e := range []struct {
-		m *netemu.Machine
-	}{
-		{netemu.NewPyramid(2, 4)},
-		{netemu.NewPyramid(2, 8)},
-		{netemu.NewMultigrid(2, 4)},
-		{netemu.NewMultigrid(2, 8)},
-	} {
-		plain := netemu.GraphBeta(e.m, 3, r.rng.Int63())
-		improved := netemu.ImprovedGraphBeta(e.m, 3, r.rng.Int63())
-		r.printf("| %s | %d | %.1f | %.1f |\n", e.m.Name, e.m.N(), plain, improved)
-	}
-	r.printf("\n(the rerouted column doubles when the machine quadruples — Θ(√n))\n\n")
-}
-
-func (r *reporter) tables123() {
-	r.printf("## Tables 1–3: maximum host sizes (symbolic)\n\n")
-	r.printf("Derived mechanically from Table 4 by solving β_H(m)/m = β_G(n)/n.\n")
-	r.printf("Selected rows (full tables: `go run ./cmd/nettables`):\n\n")
-	r.printf("| guest | host | min guest time | max host size |\n|---|---|---|---|\n")
-	show := func(rows []core.Row, guestFam, hostFam netemu.Family) {
-		for _, row := range rows {
-			if row.Bound.Guest.Family == guestFam && row.Bound.Host.Family == hostFam {
-				r.printf("| %v | %v | %s | %s |\n", row.Bound.Guest, row.Bound.Host, row.MinTime, row.MaxHost)
-				return
-			}
-		}
-	}
-	t1 := netemu.Table1(2, 3)
-	show(t1, netemu.Mesh, netemu.LinearArray)
-	show(t1, netemu.Mesh, netemu.XTree)
-	show(t1, netemu.Mesh, netemu.Mesh)
-	t2 := netemu.Table2(2, 3)
-	show(t2, netemu.Pyramid, netemu.LinearArray)
-	show(t2, netemu.MeshOfTrees, netemu.XTree)
-	t3 := netemu.Table3(2)
-	show(t3, netemu.DeBruijn, netemu.LinearArray)
-	show(t3, netemu.DeBruijn, netemu.Mesh)
-	show(t3, netemu.Butterfly, netemu.MeshOfTrees)
-	show(t3, netemu.Expander, netemu.Mesh)
-	r.printf("\n")
-}
-
-func (r *reporter) figure1() {
-	r.printf("## Figure 1: load vs bandwidth slowdown crossover\n\n")
-	bound, err := netemu.SlowdownBound(
-		netemu.Spec{Family: netemu.DeBruijn},
-		netemu.Spec{Family: netemu.Mesh, Dim: 2})
-	if err != nil {
+	if err := report.Generate(w, report.Options{Quick: *quick, Seed: *seed, Workers: *workers}); err != nil {
 		log.Fatal(err)
 	}
-	n := 4096.0
-	m, slow := bound.CrossoverPoint(n)
-	r.printf("Headline pair (de Bruijn n=4096 on 2-d meshes): analytic crossover at\n")
-	r.printf("|H| ≈ %.0f (prediction lg²n = 144) with slowdown ≈ %.1f.\n\n", m, slow)
-
-	r.printf("Measured emulation slowdown across host sizes (guest n=256, 4 steps):\n\n")
-	guest := netemu.NewDeBruijn(8)
-	r.printf("| \\|H\\| | load bound | comm bound | measured |\n|---|---|---|---|\n")
-	sides := []int{2, 4, 8, 12, 16}
-	if r.quick {
-		sides = []int{2, 4, 8, 16}
-	}
-	for _, side := range sides {
-		host := netemu.NewMesh(2, side)
-		res := netemu.Emulate(guest, host, 4, r.rng.Int63())
-		hm := float64(host.N())
-		r.printf("| %d | %.1f | %.1f | %.1f |\n",
-			host.N(), bound.LoadSlowdown(256, hm), bound.CommunicationSlowdown(256, hm), res.Slowdown)
-	}
-	r.printf("\nThe measured column falls with |H| until the comm bound takes over,\n")
-	r.printf("then flattens — the Figure 1 shape.\n\n")
-}
-
-func (r *reporter) emulationMatrix() {
-	r.printf("## Emulation matrix: measured slowdown vs theorem bound\n\n")
-	r.printf("The theorem guarantees measured/bound stays Ω(1); ratios below ~0.5\n")
-	r.printf("would falsify the reproduction.\n\n")
-	pairs := []struct {
-		name        string
-		guest, host *netemu.Machine
-	}{
-		{"Mesh² on LinearArray", netemu.NewMesh(2, 8), netemu.NewLinearArray(16)},
-		{"Mesh² on Tree", netemu.NewMesh(2, 8), netemu.NewTree(4)},
-		{"Mesh² on Mesh²", netemu.NewMesh(2, 8), netemu.NewMesh(2, 4)},
-		{"DeBruijn on Mesh²", netemu.NewDeBruijn(6), netemu.NewMesh(2, 4)},
-		{"DeBruijn on X-Tree", netemu.NewDeBruijn(6), netemu.NewXTree(4)},
-		{"Butterfly on Mesh²", netemu.NewButterfly(4), netemu.NewMesh(2, 4)},
-		{"Mesh² on Butterfly", netemu.NewMesh(2, 8), netemu.NewButterfly(4)},
-		{"CCC on LinearArray", netemu.NewCubeConnectedCycles(4), netemu.NewLinearArray(16)},
-	}
-	r.printf("| pair | |G| | |H| | bound | measured | ratio |\n|---|---|---|---|---|---|\n")
-	for _, p := range pairs {
-		check, err := netemu.VerifyBound(p.guest, p.host, 3, r.rng.Int63())
-		if err != nil {
-			log.Fatal(err)
-		}
-		r.printf("| %s | %d | %d | %.1f | %.1f | %.2f |\n",
-			p.name, check.N, check.M, check.Predicted, check.Measured, check.Ratio)
-	}
-	r.printf("\n")
-}
-
-func (r *reporter) bottleneck() {
-	r.printf("## Bottleneck-freeness audit (host-side hypothesis)\n\n")
-	machines := []*netemu.Machine{
-		netemu.NewMesh(2, 8),
-		netemu.NewTree(6),
-		netemu.NewXTree(6),
-		netemu.NewDeBruijn(6),
-		netemu.NewLinearArray(64),
-	}
-	r.printf("| machine | β symmetric | worst quasi/symmetric ratio |\n|---|---|---|\n")
-	for _, m := range machines {
-		rep := netemu.AuditBottleneck(m, 3, netemu.MeasureOptions{}, r.rng.Int63())
-		r.printf("| %s | %.2f | %.2f |\n", m.Name, rep.SymmetricBeta, rep.WorstRatio)
-	}
-	r.printf("\nAll ratios are O(1), consistent with the paper's (unproven) remark\n")
-	r.printf("that the standard machines are bottleneck-free.\n\n")
-}
-
-func (r *reporter) theorem6() {
-	r.printf("## Theorem 6: operational β vs graph-theoretic E(T)/C(M,T)\n\n")
-	machines := []*netemu.Machine{
-		netemu.NewMesh(2, 8),
-		netemu.NewTree(6),
-		netemu.NewDeBruijn(6),
-		netemu.NewRing(64),
-	}
-	r.printf("| machine | operational | E(T)/C(M,T) | ratio |\n|---|---|---|---|\n")
-	for _, m := range machines {
-		op := netemu.MeasureBeta(m, netemu.MeasureOptions{}, r.rng.Int63()).Beta
-		gt := netemu.GraphBeta(m, 6, r.rng.Int63())
-		r.printf("| %s | %.2f | %.2f | %.2f |\n", m.Name, op, gt, op/gt)
-	}
-	r.printf("\nRatios sit in a constant band, as Theorem 6's Θ-equivalence requires.\n\n")
-}
-
-func (r *reporter) baselines() {
-	r.printf("## §1.2 comparison: bandwidth method vs Koch et al. congestion bounds\n\n")
-	r.printf("At |G| = |H| = n the two methods coincide exactly for mesh-on-mesh pairs:\n\n")
-	r.printf("| k→j | n | Koch bound | bandwidth bound |\n|---|---|---|---|\n")
-	for _, pair := range [][2]int{{2, 1}, {3, 2}, {4, 2}} {
-		k, j := pair[0], pair[1]
-		n := 1 << 16
-		koch := core.KochMeshOnMesh(k, j).Slowdown(float64(n), float64(n))
-		band := core.BandwidthMeshOnMesh(k, j).Slowdown(float64(n), float64(n))
-		r.printf("| %d→%d | 2^16 | %.2f | %.2f |\n", k, j, koch, band)
-	}
-	r.printf("\nThe distance-based tree-on-mesh bound (S ≥ Ω((n/lg^k n)^{1/(k+1)})) is\n")
-	r.printf("also implemented (core.KochTreeOnMesh) for completeness; the bandwidth\n")
-	r.printf("method cannot see it (trees and meshes share β-poor hosts), which the\n")
-	r.printf("paper acknowledges — its bounds are not tight for distance-dominated\n")
-	r.printf("pairs.\n")
 }

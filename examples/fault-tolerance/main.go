@@ -4,32 +4,53 @@
 // component, and measure what bandwidth is left. The multibutterfly's
 // random splitters leave it with expander-grade redundancy; the butterfly
 // has exactly one switch per (row-prefix, level) and crumbles.
+//
+// The six (machine, fault-rate) trials run concurrently on the experiment
+// orchestrator; each trial's randomness is keyed by its identity, so the
+// table is identical at any parallelism.
 package main
 
 import (
 	"fmt"
+	"math/rand"
 
 	"repro"
+	"repro/internal/experiment"
 )
 
 func main() {
-	fmt.Printf("%-18s %8s %10s %12s %12s\n", "machine", "faults", "survival", "β intact", "β degraded")
+	r := experiment.New(1, 0)
+	type row struct {
+		which                  string
+		frac                   float64
+		surv, intact, degraded float64
+	}
+	var futs []*experiment.Future[row]
 	for _, frac := range []float64{0.1, 0.2, 0.3} {
 		for _, which := range []string{"Butterfly", "Multibutterfly"} {
-			var m *netemu.Machine
-			if which == "Butterfly" {
-				m = netemu.NewButterfly(5)
-			} else {
-				m = netemu.NewMultibutterfly(5, 1)
-			}
-			intact := netemu.MeasureBeta(m, netemu.MeasureOptions{}, 1).Beta
-			d := netemu.DegradeEdges(m, frac, 2)
-			surv := netemu.SurvivalFraction(d)
-			s := netemu.Survivor(d)
-			degraded := netemu.MeasureBeta(s, netemu.MeasureOptions{}, 3).Beta
-			fmt.Printf("%-18s %7.0f%% %10.3f %12.1f %12.1f\n",
-				which, frac*100, surv, intact, degraded)
+			frac, which := frac, which
+			key := fmt.Sprintf("fault/%s/%.0f", which, frac*100)
+			futs = append(futs, experiment.Go(r, key, func(rng *rand.Rand) row {
+				var m *netemu.Machine
+				if which == "Butterfly" {
+					m = netemu.NewButterfly(5)
+				} else {
+					m = netemu.NewMultibutterfly(5, rng.Int63())
+				}
+				intact := netemu.MeasureBeta(m, netemu.MeasureOptions{}, rng.Int63()).Beta
+				d := netemu.DegradeEdges(m, frac, rng.Int63())
+				surv := netemu.SurvivalFraction(d)
+				s := netemu.Survivor(d)
+				degraded := netemu.MeasureBeta(s, netemu.MeasureOptions{}, rng.Int63()).Beta
+				return row{which: which, frac: frac, surv: surv, intact: intact, degraded: degraded}
+			}))
 		}
+	}
+	fmt.Printf("%-18s %8s %10s %12s %12s\n", "machine", "faults", "survival", "β intact", "β degraded")
+	for _, f := range futs {
+		got := f.Wait()
+		fmt.Printf("%-18s %7.0f%% %10.3f %12.1f %12.1f\n",
+			got.which, got.frac*100, got.surv, got.intact, got.degraded)
 	}
 	fmt.Println("\nthe multibutterfly keeps both its processors and its bandwidth;")
 	fmt.Println("the butterfly loses bandwidth superlinearly as cuts sever level paths.")

@@ -26,7 +26,12 @@ type MeasureOptions struct {
 	Strategy routing.Strategy
 }
 
-func (o MeasureOptions) withDefaults() MeasureOptions {
+// Canonical returns the options with every default filled in, so two
+// MeasureOptions values that describe the same measurement compare (and
+// render) identically. Cache layers key on the canonical form: the zero
+// value and an explicit {LoadFactors: {2,4,8}, Trials: 2} must hit the
+// same cache entry.
+func (o MeasureOptions) Canonical() MeasureOptions {
 	if len(o.LoadFactors) == 0 {
 		o.LoadFactors = []int{2, 4, 8}
 	}
@@ -35,6 +40,8 @@ func (o MeasureOptions) withDefaults() MeasureOptions {
 	}
 	return o
 }
+
+func (o MeasureOptions) withDefaults() MeasureOptions { return o.Canonical() }
 
 // Measurement is one operational bandwidth estimate.
 type Measurement struct {

@@ -17,6 +17,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/bandwidth"
 	"repro/internal/growth"
@@ -170,6 +171,34 @@ type CurvePoint struct {
 	M    float64 // host size
 	Load float64 // n/m
 	Comm float64 // β_G(n)/β_H(m)
+}
+
+// HostSizeGrid returns `points` host sizes sampled geometrically in
+// [4, n], rounded to integers with duplicates (which math.Round produces
+// at small n) removed — the sampling grid behind Figure 1. A single point
+// yields {n} (the full-size host, where the interesting crossover-side
+// behaviour lives) rather than dividing 0/0 on the degenerate geometric
+// step. points < 1 is an error.
+func HostSizeGrid(n float64, points int) ([]float64, error) {
+	if points < 1 {
+		return nil, fmt.Errorf("core: host size grid needs at least 1 point, got %d", points)
+	}
+	if n < 4 {
+		return nil, fmt.Errorf("core: host size grid needs guest size >= 4, got %v", n)
+	}
+	if points == 1 {
+		return []float64{math.Round(n)}, nil
+	}
+	sizes := make([]float64, 0, points)
+	for i := 0; i < points; i++ {
+		frac := float64(i) / float64(points-1)
+		s := math.Round(4 * math.Pow(n/4, frac))
+		if len(sizes) > 0 && s == sizes[len(sizes)-1] {
+			continue // Round collapsed two geometric steps onto one integer
+		}
+		sizes = append(sizes, s)
+	}
+	return sizes, nil
 }
 
 // Curve samples the two slowdown bounds at the given host sizes for a

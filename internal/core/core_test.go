@@ -403,3 +403,64 @@ func TestEmpiricalCrossoverMatchesAnalytic(t *testing.T) {
 		t.Fatalf("knee = %v, want within [16, 256)", knee)
 	}
 }
+
+func TestHostSizeGridSinglePoint(t *testing.T) {
+	// Regression: -points 1 used to compute 0/0 in the geometric step and
+	// emit a NaN host size.
+	sizes, err := HostSizeGrid(1024, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) != 1 || sizes[0] != 1024 {
+		t.Fatalf("grid = %v, want [1024]", sizes)
+	}
+	for _, s := range sizes {
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			t.Fatalf("non-finite size %v", s)
+		}
+	}
+}
+
+func TestHostSizeGridTwoPoints(t *testing.T) {
+	sizes, err := HostSizeGrid(1024, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) != 2 || sizes[0] != 4 || sizes[1] != 1024 {
+		t.Fatalf("grid = %v, want [4 1024]", sizes)
+	}
+}
+
+func TestHostSizeGridDedupesRoundedSizes(t *testing.T) {
+	// At small n a dense grid rounds neighbouring geometric steps onto the
+	// same integer; the grid must not repeat sizes.
+	sizes, err := HostSizeGrid(16, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[float64]bool{}
+	for _, s := range sizes {
+		if seen[s] {
+			t.Fatalf("duplicate size %v in %v", s, sizes)
+		}
+		seen[s] = true
+		if s < 4 || s > 16 {
+			t.Fatalf("size %v outside [4,16]", s)
+		}
+	}
+	if sizes[0] != 4 || sizes[len(sizes)-1] != 16 {
+		t.Fatalf("grid endpoints %v", sizes)
+	}
+}
+
+func TestHostSizeGridRejectsBadInput(t *testing.T) {
+	if _, err := HostSizeGrid(1024, 0); err == nil {
+		t.Fatal("points=0 accepted")
+	}
+	if _, err := HostSizeGrid(1024, -3); err == nil {
+		t.Fatal("negative points accepted")
+	}
+	if _, err := HostSizeGrid(2, 4); err == nil {
+		t.Fatal("guest below minimum host size accepted")
+	}
+}

@@ -1,0 +1,83 @@
+package emulation
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// faultedMeshSurvivor knocks processors out of a 2-d mesh and extracts the
+// surviving component: a machine that is mesh-descended but no longer has
+// Side^Dim geometry.
+func faultedMeshSurvivor(t *testing.T, side, kill int, seed int64) *topology.Machine {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m := topology.Mesh(2, side)
+	d, failed := topology.DeleteRandomProcessors(m, kill, rng)
+	s := topology.SurvivingSubmachine(d, failed)
+	if s.N() >= m.N() {
+		t.Fatalf("survivor kept %d of %d processors", s.N(), m.N())
+	}
+	return s
+}
+
+// Regression: a degraded mesh survivor used to carry its parent's Side/Dim,
+// so meshContraction decoded coordinates of processors that no longer exist
+// and assigned guest work to host ids >= host.N().
+func TestContractionMapOntoDegradedMeshHost(t *testing.T) {
+	guest := topology.Mesh(2, 8)
+	host := faultedMeshSurvivor(t, 8, 10, 11)
+	assign := ContractionMap(guest, host)
+	for v, p := range assign {
+		if p < 0 || p >= host.N() {
+			t.Fatalf("guest %d assigned to host %d, but host has only %d live processors", v, p, host.N())
+		}
+	}
+}
+
+func TestContractionMapFromDegradedMeshGuest(t *testing.T) {
+	guest := faultedMeshSurvivor(t, 8, 10, 12)
+	host := topology.Mesh(2, 4)
+	assign := ContractionMap(guest, host)
+	if len(assign) != guest.N() {
+		t.Fatalf("assignment covers %d of %d survivors", len(assign), guest.N())
+	}
+	for v, p := range assign {
+		if p < 0 || p >= host.N() {
+			t.Fatalf("guest %d assigned to host %d of %d", v, p, host.N())
+		}
+	}
+}
+
+// End-to-end: emulating on (and of) a faulted mesh must route every message
+// between live processors and produce a finite positive slowdown.
+func TestDirectEmulationOnFaultedMesh(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	survivor := faultedMeshSurvivor(t, 8, 10, 14)
+
+	// Survivor as host: an intact mesh guest contracts onto what's left.
+	res := Direct(topology.Mesh(2, 8), survivor, 3, nil, rng)
+	if res.Slowdown <= 0 || res.HostTicks <= 0 {
+		t.Fatalf("survivor-host emulation: %+v", res)
+	}
+
+	// Survivor as guest: its irregular remnant runs on an intact mesh.
+	res = Direct(survivor, topology.Mesh(2, 4), 3, nil, rng)
+	if res.Slowdown <= 0 || res.HostTicks <= 0 {
+		t.Fatalf("survivor-guest emulation: %+v", res)
+	}
+}
+
+// An intact machine passed through SurvivingSubmachine keeps its geometry,
+// so the coordinate-scaling fast path still applies.
+func TestIntactSurvivorKeepsMeshContraction(t *testing.T) {
+	m := topology.Mesh(2, 8)
+	s := topology.SurvivingSubmachine(m, nil)
+	if s.Side != 8 || s.Dim != 2 {
+		t.Fatalf("intact survivor lost geometry: Side=%d Dim=%d", s.Side, s.Dim)
+	}
+	if a := meshContraction(s, topology.Mesh(2, 4)); a == nil {
+		t.Fatal("intact survivor should still qualify for coordinate contraction")
+	}
+}

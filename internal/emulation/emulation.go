@@ -86,6 +86,13 @@ func meshContraction(guest, host *topology.Machine) []int {
 	if guest.Side < host.Side {
 		return nil // expansion, not contraction; fall back to BFS blocks
 	}
+	// Trust the coordinate metadata only if it actually describes the
+	// machines: a degraded survivor can carry a stale Side/Dim claiming
+	// Side^Dim processors it no longer has, and decoding coordinates from
+	// that lie would assign guest work to nonexistent host processors.
+	if sidePow(guest.Side, guest.Dim) != guest.N() || sidePow(host.Side, host.Dim) != host.N() {
+		return nil
+	}
 	dim := guest.Dim
 	assign := make([]int, guest.N())
 	for v := range assign {
@@ -103,6 +110,15 @@ func meshContraction(guest, host *topology.Machine) []int {
 		assign[v] = hid
 	}
 	return assign
+}
+
+// sidePow returns side^dim without floating point.
+func sidePow(side, dim int) int {
+	out := 1
+	for i := 0; i < dim; i++ {
+		out *= side
+	}
+	return out
 }
 
 // RandomMap assigns guest processors to host processors in random balanced

@@ -1,0 +1,79 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bandwidth"
+	"repro/internal/topology"
+)
+
+// The memoized measurements. Keys are the canonical textual identity of the
+// measurement — family, dimension, approximate size handed to
+// topology.Build, and (for β) the canonicalized MeasureOptions — so a
+// report section asking for β(Mesh², 64) under default options and a
+// crossover sweep asking for the same machine share one computation. The
+// RNG stream is derived from the same key, which keeps cached and
+// uncached runs bit-identical: the first requester and a cold run both
+// draw stream(key).
+
+// Lambda is a memoized λ measurement: the machine's diameter and sampled
+// average distance (λ(M) is proportional to both on every Table 4 machine).
+type Lambda struct {
+	Diameter int
+	AvgDist  float64
+}
+
+func betaKey(f topology.Family, dim, size int, opts bandwidth.MeasureOptions) string {
+	return fmt.Sprintf("beta/%v/%d/%d/lf=%v,t=%d,s=%d",
+		f, dim, size, opts.LoadFactors, opts.Trials, opts.Strategy)
+}
+
+// BetaFuture returns the (possibly already running) memoized measurement of
+// the symmetric β of the Build-identified machine. The first call per key
+// submits the job; later calls share its future.
+func (r *Runner) BetaFuture(f topology.Family, dim, size int, opts bandwidth.MeasureOptions) *Future[bandwidth.Measurement] {
+	opts = opts.Canonical()
+	key := betaKey(f, dim, size, opts)
+	if v, ok := r.beta.Load(key); ok {
+		return v.(*Future[bandwidth.Measurement])
+	}
+	fut := newFuture(r, key, func(rng *rand.Rand) bandwidth.Measurement {
+		m := topology.Build(f, dim, size, rng)
+		return bandwidth.MeasureSymmetricBeta(m, opts, rng)
+	})
+	if actual, loaded := r.beta.LoadOrStore(key, fut); loaded {
+		return actual.(*Future[bandwidth.Measurement])
+	}
+	fut.submit(r)
+	return fut
+}
+
+// Beta is BetaFuture + Wait.
+func (r *Runner) Beta(f topology.Family, dim, size int, opts bandwidth.MeasureOptions) bandwidth.Measurement {
+	return r.BetaFuture(f, dim, size, opts).Wait()
+}
+
+// LambdaFuture returns the memoized λ ingredients of the Build-identified
+// machine.
+func (r *Runner) LambdaFuture(f topology.Family, dim, size int) *Future[Lambda] {
+	key := fmt.Sprintf("lambda/%v/%d/%d", f, dim, size)
+	if v, ok := r.lambda.Load(key); ok {
+		return v.(*Future[Lambda])
+	}
+	fut := newFuture(r, key, func(rng *rand.Rand) Lambda {
+		m := topology.Build(f, dim, size, rng)
+		diam, avg := bandwidth.MeasureLambda(m, rng)
+		return Lambda{Diameter: diam, AvgDist: avg}
+	})
+	if actual, loaded := r.lambda.LoadOrStore(key, fut); loaded {
+		return actual.(*Future[Lambda])
+	}
+	fut.submit(r)
+	return fut
+}
+
+// Lambda is LambdaFuture + Wait.
+func (r *Runner) Lambda(f topology.Family, dim, size int) Lambda {
+	return r.LambdaFuture(f, dim, size).Wait()
+}

@@ -1,0 +1,142 @@
+// Package experiment is a deterministic concurrent job orchestrator for the
+// measurement suites. Every job — a β sweep point, a λ measurement, an
+// emulation bound check, a fault-tolerance trial — is identified by a stable
+// key string and draws its randomness from a measure.SeedPlan stream
+// addressed by that key, never from a shared RNG. Results therefore depend
+// only on the base seed and the key, not on worker count, submission order,
+// or goroutine scheduling: a suite run at -workers 1 and -workers 8 produces
+// byte-identical output. This is the same contract bandwidth.SweepBetaParallel
+// honors, generalized from one sweep to arbitrary job graphs.
+//
+// The runner also memoizes the expensive shared measurements (operational β
+// and λ of a Build-identified machine) keyed by (family, dim, size,
+// canonical MeasureOptions), so report sections and the crossover tool stop
+// recomputing the same host-machine bandwidths.
+package experiment
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/measure"
+)
+
+// Runner executes keyed jobs on a bounded worker pool. The zero value is
+// not usable; construct with New.
+type Runner struct {
+	plan    measure.SeedPlan
+	workers int
+	sem     chan struct{}
+	beta    sync.Map // string -> *Future[bandwidth.Measurement]
+	lambda  sync.Map // string -> *Future[Lambda]
+	jobs    atomic.Int64
+}
+
+// New returns a runner rooted at the given base seed. workers caps the
+// number of jobs executing concurrently; workers < 1 means GOMAXPROCS.
+func New(seed int64, workers int) *Runner {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{
+		plan:    measure.NewSeedPlan(seed),
+		workers: workers,
+		sem:     make(chan struct{}, workers),
+	}
+}
+
+// Workers returns the concurrency cap.
+func (r *Runner) Workers() int { return r.workers }
+
+// Jobs returns how many jobs have been submitted so far.
+func (r *Runner) Jobs() int64 { return r.jobs.Load() }
+
+// RNG returns the job stream for a key. It depends only on the runner's
+// base seed and the key — two runners with the same seed hand out identical
+// streams for identical keys regardless of call order.
+func (r *Runner) RNG(key string) *rand.Rand {
+	return r.plan.RNG(measure.KeyString(key))
+}
+
+// Seed returns a derived int64 seed for a key, for APIs that take seeds
+// rather than *rand.Rand.
+func (r *Runner) Seed(key string) int64 {
+	return r.plan.Fork(measure.KeyString(key)).Seed()
+}
+
+// Future is the handle to a submitted job. Exactly one goroutine ever runs
+// the job body; Wait blocks until the value is ready.
+type Future[T any] struct {
+	fn      func() T
+	claimed atomic.Bool
+	done    chan struct{}
+	val     T
+}
+
+// Go submits fn as a job. fn receives a fresh RNG on the key's stream; the
+// returned value depends only on (base seed, key, fn), never on scheduling.
+//
+// Deadlock safety: a job may Wait on futures of other jobs. If the awaited
+// job has not started yet, Wait claims it and runs it inline on the waiting
+// goroutine instead of blocking on a pool slot, so nested job graphs cannot
+// starve the pool.
+func Go[T any](r *Runner, key string, fn func(rng *rand.Rand) T) *Future[T] {
+	f := newFuture(r, key, fn)
+	f.submit(r)
+	return f
+}
+
+// GoUnpooled runs fn immediately on its own goroutine, outside the worker
+// cap. It is meant for cheap coordinator jobs that fan out pooled leaf jobs
+// and spend their life blocked in Wait — counting those against the cap
+// would let blocked coordinators starve the leaves doing the actual work.
+// The determinism contract is the same as Go's.
+func GoUnpooled[T any](r *Runner, key string, fn func(rng *rand.Rand) T) *Future[T] {
+	f := newFuture(r, key, fn)
+	r.jobs.Add(1)
+	go f.tryRun()
+	return f
+}
+
+func newFuture[T any](r *Runner, key string, fn func(rng *rand.Rand) T) *Future[T] {
+	rng := r.RNG(key)
+	return &Future[T]{
+		fn:   func() T { return fn(rng) },
+		done: make(chan struct{}),
+	}
+}
+
+func (f *Future[T]) submit(r *Runner) {
+	r.jobs.Add(1)
+	go func() {
+		r.sem <- struct{}{}
+		defer func() { <-r.sem }()
+		f.tryRun()
+	}()
+}
+
+// tryRun executes the job body if no one has claimed it yet.
+func (f *Future[T]) tryRun() {
+	if f.claimed.CompareAndSwap(false, true) {
+		f.val = f.fn()
+		close(f.done)
+	}
+}
+
+// Wait returns the job's value, running it inline if it has not started.
+func (f *Future[T]) Wait() T {
+	f.tryRun()
+	<-f.done
+	return f.val
+}
+
+// Collect waits on a slice of futures and returns their values in order.
+func Collect[T any](fs []*Future[T]) []T {
+	out := make([]T, len(fs))
+	for i, f := range fs {
+		out[i] = f.Wait()
+	}
+	return out
+}

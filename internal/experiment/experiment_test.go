@@ -1,0 +1,129 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bandwidth"
+	"repro/internal/topology"
+)
+
+// The core contract: job results depend only on (seed, key), never on the
+// worker count or submission order.
+func TestJobResultsInvariantUnderWorkerCount(t *testing.T) {
+	run := func(workers int, reverse bool) []int64 {
+		r := New(42, workers)
+		keys := make([]string, 16)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("job/%d", i)
+		}
+		futs := make([]*Future[int64], len(keys))
+		idx := make([]int, len(keys))
+		for i := range idx {
+			idx[i] = i
+		}
+		if reverse {
+			for i, j := 0, len(idx)-1; i < j; i, j = i+1, j-1 {
+				idx[i], idx[j] = idx[j], idx[i]
+			}
+		}
+		for _, i := range idx {
+			futs[i] = Go(r, keys[i], func(rng *rand.Rand) int64 { return rng.Int63() })
+		}
+		return Collect(futs)
+	}
+	want := run(1, false)
+	for _, workers := range []int{1, 2, 8} {
+		for _, reverse := range []bool{false, true} {
+			got := run(workers, reverse)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d reverse=%v: job %d = %d, want %d",
+						workers, reverse, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestRNGIndependentOfCallOrder(t *testing.T) {
+	a := New(7, 2)
+	b := New(7, 2)
+	_ = a.RNG("warmup").Int63() // extra draws must not shift other streams
+	if got, want := a.RNG("x").Int63(), b.RNG("x").Int63(); got != want {
+		t.Fatalf("stream x differs across runners: %d vs %d", got, want)
+	}
+	if a.Seed("x") == a.Seed("y") {
+		t.Fatal("distinct keys collided")
+	}
+}
+
+// A job that Waits on not-yet-started jobs must not deadlock the pool: Wait
+// claims and runs pending jobs inline.
+func TestNestedWaitDoesNotDeadlock(t *testing.T) {
+	r := New(1, 1) // one slot: the parent occupies it while waiting
+	parent := Go(r, "parent", func(rng *rand.Rand) int {
+		children := make([]*Future[int], 8)
+		for i := range children {
+			key := fmt.Sprintf("child/%d", i)
+			children[i] = Go(r, key, func(rng *rand.Rand) int { return 1 })
+		}
+		total := 0
+		for _, c := range children {
+			total += c.Wait()
+		}
+		return total
+	})
+	if got := parent.Wait(); got != 8 {
+		t.Fatalf("parent = %d, want 8", got)
+	}
+}
+
+func TestBetaCacheComputesOnce(t *testing.T) {
+	r := New(3, 4)
+	// Two sections asking for the same machine under equivalent options
+	// (zero value vs explicit defaults) must share one future.
+	f1 := r.BetaFuture(topology.MeshFamily, 2, 64, bandwidth.MeasureOptions{})
+	f2 := r.BetaFuture(topology.MeshFamily, 2, 64, bandwidth.MeasureOptions{LoadFactors: []int{2, 4, 8}, Trials: 2})
+	if f1 != f2 {
+		t.Fatal("canonical-equal options missed the cache")
+	}
+	m1 := f1.Wait()
+	m2 := r.Beta(topology.MeshFamily, 2, 64, bandwidth.MeasureOptions{})
+	if m1.Beta != m2.Beta {
+		t.Fatalf("cache returned different values: %v vs %v", m1.Beta, m2.Beta)
+	}
+	if m1.Beta <= 0 {
+		t.Fatalf("non-positive beta %v", m1.Beta)
+	}
+}
+
+// Cached β equals what a cold single-job run on the same key stream yields:
+// memoization must not shift numbers.
+func TestBetaCacheMatchesColdRun(t *testing.T) {
+	opts := bandwidth.MeasureOptions{}.Canonical()
+	r1 := New(9, 4)
+	warm := r1.Beta(topology.DeBruijnFamily, 0, 64, opts)
+
+	r2 := New(9, 1)
+	cold := r2.Beta(topology.DeBruijnFamily, 0, 64, opts)
+	if warm.Beta != cold.Beta {
+		t.Fatalf("beta differs across worker counts: %v vs %v", warm.Beta, cold.Beta)
+	}
+}
+
+func TestLambdaCache(t *testing.T) {
+	r := New(5, 2)
+	a := r.Lambda(topology.MeshFamily, 2, 64)
+	b := r.Lambda(topology.MeshFamily, 2, 64)
+	if a != b {
+		t.Fatalf("lambda cache returned %+v then %+v", a, b)
+	}
+	if a.Diameter != 14 { // 8x8 mesh: 2*(8-1)
+		t.Fatalf("mesh 8x8 diameter = %d, want 14", a.Diameter)
+	}
+	if a.AvgDist <= 0 {
+		t.Fatalf("avg dist %v", a.AvgDist)
+	}
+}

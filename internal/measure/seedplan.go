@@ -47,6 +47,24 @@ func (p SeedPlan) RNG(keys ...uint64) *rand.Rand {
 // Seed returns the plan's state as an int64 rand seed.
 func (p SeedPlan) Seed() int64 { return int64(p.state) }
 
+// KeyString folds a textual job identity into a stream key, so callers can
+// address streams by stable human-readable names ("table4/Mesh^2/64")
+// instead of hand-assigned integers. FNV-1a over the bytes; the Fork side
+// applies the splitmix64 finalizer on top, so short and similar strings
+// still land in well-separated states.
+func KeyString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
 // mix64 is the splitmix64 finalizer: a bijective avalanche on 64 bits.
 func mix64(x uint64) uint64 {
 	x ^= x >> 30

@@ -36,8 +36,13 @@ func DeleteRandomEdges(m *Machine, frac float64, rng *rand.Rand) *Machine {
 // failed: a failed processor keeps its vertex (indices are stable) but
 // loses all its wires, and Faulty reports it. Switch vertices never fail.
 func DeleteRandomProcessors(m *Machine, count int, rng *rand.Rand) (*Machine, map[int]bool) {
-	if count < 0 || count >= m.N() {
-		panic(fmt.Sprintf("topology: cannot fail %d of %d processors", count, m.N()))
+	switch {
+	case count < 0:
+		panic(fmt.Sprintf("topology: negative fault count %d", count))
+	case count >= m.N() && m.N() == 1:
+		panic(fmt.Sprintf("topology: %s has a single processor; it cannot lose any (count=%d)", m.Name, count))
+	case count >= m.N():
+		panic(fmt.Sprintf("topology: failing %d of %d processors would leave none alive; at most %d may fail", count, m.N(), m.N()-1))
 	}
 	g := m.Graph.Clone()
 	failed := make(map[int]bool, count)
@@ -67,6 +72,11 @@ func LargestComponentFraction(m *Machine, failed map[int]bool) float64 {
 	}
 	if surviving == 0 {
 		return 0
+	}
+	if surviving == 1 {
+		// A lone surviving processor is trivially its own component; don't
+		// depend on how Components treats isolated vertices.
+		return 1
 	}
 	best := 0
 	for _, comp := range m.Graph.Components() {
@@ -149,6 +159,16 @@ func SurvivingSubmachine(m *Machine, failed map[int]bool) *Machine {
 		Dim:       m.Dim,
 		Side:      m.Side,
 		VertexCap: caps,
+	}
+	if procs != m.Procs || next != m.Graph.N() {
+		// The survivor lost vertices, so the family's coordinate geometry
+		// (Side^Dim processors for mesh-likes) no longer describes it.
+		// Carrying the parameters forward would let geometry-aware code —
+		// emulation.ContractionMap's coordinate scaling in particular —
+		// decode coordinates of processors that no longer exist and assign
+		// work to them. Clear them; consumers fall back to graph-based paths.
+		out.Dim = 0
+		out.Side = 0
 	}
 	return out.validate()
 }

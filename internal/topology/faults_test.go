@@ -2,6 +2,7 @@ package topology
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -125,5 +126,71 @@ func TestMultibutterflyFaultToleranceBeatsButterfly(t *testing.T) {
 	}
 	if mbflyAvg < 0.95 {
 		t.Fatalf("multibutterfly survival %.3f too low at %d%% faults", mbflyAvg, int(frac*100))
+	}
+}
+
+func TestDeleteRandomProcessorsPanicMessages(t *testing.T) {
+	mustPanic := func(name string, m *Machine, count int, want string) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+			msg, ok := r.(string)
+			if !ok {
+				t.Fatalf("%s: panic value %v", name, r)
+			}
+			if !strings.Contains(msg, want) {
+				t.Fatalf("%s: panic %q does not mention %q", name, msg, want)
+			}
+		}()
+		DeleteRandomProcessors(m, count, rand.New(rand.NewSource(1)))
+	}
+	mustPanic("all", Ring(8), 8, "would leave none alive; at most 7 may fail")
+	mustPanic("beyond", Ring(8), 12, "would leave none alive")
+	mustPanic("single", LinearArray(1), 1, "single processor")
+	mustPanic("negative", Ring(8), -1, "negative fault count")
+}
+
+func TestDeleteRandomProcessorsAllButOne(t *testing.T) {
+	// The legal extreme: fail every processor but one.
+	d, failed := DeleteRandomProcessors(Ring(8), 7, rand.New(rand.NewSource(2)))
+	if len(failed) != 7 {
+		t.Fatalf("failed %d, want 7", len(failed))
+	}
+	if got := LargestComponentFraction(d, failed); got != 1.0 {
+		t.Fatalf("lone survivor fraction = %v, want 1", got)
+	}
+}
+
+func TestLargestComponentFractionSingleProcessor(t *testing.T) {
+	m := LinearArray(1)
+	if got := LargestComponentFraction(m, nil); got != 1.0 {
+		t.Fatalf("single-processor fraction = %v, want 1", got)
+	}
+	if got := LargestComponentFraction(m, map[int]bool{0: true}); got != 0 {
+		t.Fatalf("all-failed fraction = %v, want 0", got)
+	}
+}
+
+func TestSurvivingSubmachineClearsStaleGeometry(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := Mesh(2, 8)
+	d, failed := DeleteRandomProcessors(m, 10, rng)
+	s := SurvivingSubmachine(d, failed)
+	if s.N() == m.N() {
+		t.Skip("faults disconnected nothing; survivor intact")
+	}
+	if s.Side != 0 || s.Dim != 0 {
+		t.Fatalf("degraded survivor still claims Side=%d Dim=%d for %d processors", s.Side, s.Dim, s.N())
+	}
+}
+
+func TestSurvivingSubmachineIntactKeepsGeometry(t *testing.T) {
+	m := Mesh(2, 8)
+	s := SurvivingSubmachine(m, nil)
+	if s.Side != m.Side || s.Dim != m.Dim || s.N() != m.N() {
+		t.Fatalf("intact survivor changed: Side=%d Dim=%d N=%d", s.Side, s.Dim, s.N())
 	}
 }

@@ -1,8 +1,11 @@
 package netemu
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
+
+	"repro/internal/topology"
 )
 
 func TestNewMachineAllFamilies(t *testing.T) {
@@ -222,5 +225,26 @@ func TestLocalityFacadeBeatsSymmetricOnArray(t *testing.T) {
 	local := MeasureBetaUnder(m, NewLocalityTraffic(m, 0.25), opts, 6).Beta
 	if local <= sym {
 		t.Fatalf("local rate %.1f should exceed symmetric %.1f on an array", local, sym)
+	}
+}
+
+func TestEmulateOnFaultedMeshSurvivor(t *testing.T) {
+	// Regression for the stale-geometry bug: a degraded mesh survivor used
+	// to advertise its parent's Side^Dim layout, making the contraction map
+	// place guest processors on hosts that no longer exist.
+	rng := rand.New(rand.NewSource(21))
+	mesh := NewMesh(2, 8)
+	degraded, failed := topology.DeleteRandomProcessors(mesh, 12, rng)
+	survivor := topology.SurvivingSubmachine(degraded, failed)
+	if survivor.N() >= mesh.N() {
+		t.Fatalf("survivor kept %d processors", survivor.N())
+	}
+	res := Emulate(NewMesh(2, 8), survivor, 3, 21)
+	if res.Slowdown <= 0 {
+		t.Fatalf("slowdown %v", res.Slowdown)
+	}
+	back := Emulate(survivor, NewMesh(2, 4), 3, 22)
+	if back.Slowdown <= 0 {
+		t.Fatalf("reverse slowdown %v", back.Slowdown)
 	}
 }
