@@ -7,11 +7,16 @@
 //
 //	betameter [-family DeBruijn] [-dim 2] [-sizes 64,128,256,512]
 //	          [-load 2,4,8] [-trials 2] [-seed 1] [-stats out.json]
+//	          [-faults "edges:0.05@t100,nodes:8@t500,heal@t900"]
 //
 // With -stats, the largest size additionally runs an instrumented open-loop
 // at 90% of its measured β and the statistical snapshot (latency quantiles,
 // queue occupancy, top edge utilization, per-tick series) is written as
-// JSON to the given path ("-" for stdout).
+// JSON to the given path ("-" for stdout). With -faults, that open-loop
+// executes the given fault spec mid-run — wires and processors fail (and
+// heal) at the spec'd ticks while traffic flows — and the
+// delivered/dropped/retried breakdown is printed; combined with -stats the
+// snapshot is the faulted run's.
 package main
 
 import (
@@ -43,10 +48,16 @@ func main() {
 	stats := flag.String("stats", "", "write an instrumented open-loop snapshot of the largest size as JSON to this path (- for stdout)")
 	statsTicks := flag.Int("stats-ticks", 400, "open-loop run length for -stats")
 	topK := flag.Int("topk", 10, "edge-utilization entries in the -stats snapshot")
+	faults := flag.String("faults", "", `fault spec (e.g. "edges:0.05@t100,nodes:8@t500,heal@t900") executed mid-run on the largest size's open-loop`)
 	flag.Parse()
 
 	if *stats != "" && *statsTicks < 8 {
 		log.Fatalf("-stats-ticks must be at least 8, got %d", *statsTicks)
+	}
+	if *faults != "" {
+		if _, err := netemu.ParseFaultSpec(*faults); err != nil {
+			log.Fatal(err)
+		}
 	}
 	if *list {
 		for _, f := range netemu.Families() {
@@ -95,14 +106,26 @@ func main() {
 	if analytic, err := netemu.AnalyticBeta(fam, *dim); err == nil {
 		fmt.Printf("paper (Table 4): beta = Θ(%s), λ = Θ(%s)\n", analytic.Beta, analytic.Lambda)
 	}
-	if *stats != "" && lastMachine != nil {
+	if (*stats != "" || *faults != "") && lastMachine != nil {
 		rate := 0.9 * lastBeta
 		if rate <= 0 {
 			rate = 1
 		}
-		_, snap := netemu.MeasureOpenLoopSnapshot(lastMachine, rate, *statsTicks, *topK, *seed)
-		if err := writeSnapshot(*stats, snap); err != nil {
-			log.Fatal(err)
+		var res netemu.OpenLoopResult
+		var snap netemu.Snapshot
+		if *faults != "" {
+			res, snap = netemu.MeasureOpenLoopSnapshotUnderFaults(lastMachine, rate, *statsTicks, *topK, *faults, *seed)
+			fmt.Printf("\nfaults %q on %s at rate %.2f over %d ticks:\n", *faults, lastMachine.Name, rate, *statsTicks)
+			fmt.Printf("  injected %d  delivered %d  dropped %d  retried %d  backlog %d\n",
+				res.Injected, res.Delivered, res.Dropped, res.Retried, res.Backlog)
+			fmt.Printf("  delivered rate %.2f/tick (fault-free target %.2f)\n", res.Throughput, rate)
+		} else {
+			_, snap = netemu.MeasureOpenLoopSnapshot(lastMachine, rate, *statsTicks, *topK, *seed)
+		}
+		if *stats != "" {
+			if err := writeSnapshot(*stats, snap); err != nil {
+				log.Fatal(err)
+			}
 		}
 	}
 }

@@ -7,6 +7,12 @@
 //	emusim [-guest DeBruijn] [-gdim 2] [-gsize 256]
 //	       [-host Mesh] [-hdim 2] [-hsize 64]
 //	       [-steps 4] [-duplicity 1] [-circuit] [-seed 1] [-stats out.json]
+//	       [-faults "nodes:3@t2"]
+//
+// With -faults "nodes:K@tS", K host processors die after guest step S: the
+// guests they simulated are remapped to the nearest surviving hosts and the
+// emulation finishes on the degraded machine, reporting the slowdown
+// penalty the failure cost.
 //
 // With -stats, the host machine additionally runs an instrumented open-loop
 // near its saturation rate and the statistical snapshot (latency quantiles,
@@ -44,6 +50,7 @@ func main() {
 	stats := flag.String("stats", "", "write an instrumented host open-loop snapshot as JSON to this path (- for stdout)")
 	statsTicks := flag.Int("stats-ticks", 400, "open-loop run length for -stats")
 	topK := flag.Int("topk", 10, "edge-utilization entries in the -stats snapshot")
+	faults := flag.String("faults", "", `host fault spec "nodes:K@tS": K host processors die after guest step S and their guests are remapped`)
 	flag.Parse()
 
 	if *stats != "" && *statsTicks < 8 {
@@ -55,6 +62,27 @@ func main() {
 
 	var res netemu.EmulationResult
 	switch {
+	case *faults != "":
+		if *useCircuit || *useMapper || *pipelined {
+			log.Fatal("-faults only supports the direct emulator")
+		}
+		plan, err := netemu.ParseFaultSpec(*faults)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(plan) != 1 || plan[0].Kind != netemu.NodeFaults {
+			log.Fatalf(`-faults wants a single "nodes:K@tS" clause, got %q`, *faults)
+		}
+		if plan[0].Tick < 1 || plan[0].Tick >= *steps {
+			log.Fatalf("-faults step %d must lie strictly inside the %d-step run", plan[0].Tick, *steps)
+		}
+		deg := netemu.EmulateDegraded(guest, host, *steps, plan[0].Tick, plan[0].Count, *seed)
+		fmt.Printf("\nfault: %d host processors die after guest step %d\n", plan[0].Count, deg.FailStep)
+		fmt.Printf("dead hosts:    %v (%d live)\n", deg.DeadHosts, deg.LiveHosts)
+		fmt.Printf("remapped:      %d guest processors\n", deg.Remapped)
+		fmt.Printf("slowdown:      %.2f pre-fault, %.2f post-fault (penalty %.2f)\n",
+			deg.PreSlowdown, deg.PostSlowdown, deg.SlowdownPenalty)
+		res = deg.Result
 	case *useCircuit:
 		res = netemu.EmulateCircuit(guest, host, *steps, *duplicity, *seed)
 	case *useMapper:

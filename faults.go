@@ -1,0 +1,101 @@
+package netemu
+
+import (
+	"math/rand"
+
+	"repro/internal/bandwidth"
+	"repro/internal/emulation"
+	"repro/internal/measure"
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Dynamic faults: machines that lose wires and processors mid-run. A
+// FaultPlan says *when* and *how much* fails ("edges:0.05@t100"); a
+// FaultSchedule is the plan materialized against one machine with one rng
+// (exactly which wires, which processors). The routing simulator executes
+// schedules while packets are in flight, rerouting around the damage and
+// dropping what cannot be saved; the measurement and emulation layers turn
+// that into degradation curves and slowdown penalties.
+
+// FaultKind enumerates the clause kinds of a FaultPlan.
+type FaultKind = topology.FaultKind
+
+// The fault clause kinds: a fraction of live wires fails, a count of live
+// processors fails, or everything heals.
+const (
+	EdgeFaults = topology.EdgeFaults
+	NodeFaults = topology.NodeFaults
+	Heal       = topology.Heal
+)
+
+// FaultClause is one clause of a fault plan: what fails (or heals) at which
+// tick.
+type FaultClause = topology.FaultClause
+
+// FaultPlan is a machine-independent fault scenario, a tick-ordered list of
+// clauses. Materialize turns it into a FaultSchedule for a machine.
+type FaultPlan = topology.FaultPlan
+
+// FaultSchedule is a materialized fault plan: concrete wires and processors
+// failing (and healing) at concrete ticks on one machine.
+type FaultSchedule = topology.FaultSchedule
+
+// FaultEvent is one tick's worth of a FaultSchedule.
+type FaultEvent = topology.FaultEvent
+
+// FaultOptions tunes stranded-packet resilience: retry budget, backoff
+// base, and TTL. The zero value uses the documented defaults.
+type FaultOptions = routing.FaultOptions
+
+// ParseFaultSpec parses a fault scenario like
+//
+//	"edges:0.05@t100,nodes:8@t500,heal@t900"
+//
+// into a FaultPlan: at tick 100 each live wire fails with probability 0.05,
+// at tick 500 eight live processors fail, at tick 900 everything heals.
+func ParseFaultSpec(spec string) (FaultPlan, error) { return topology.ParseFaultSpec(spec) }
+
+// MustParseFaultSpec is ParseFaultSpec panicking on error, for specs fixed
+// at compile time.
+func MustParseFaultSpec(spec string) FaultPlan { return topology.MustParseFaultSpec(spec) }
+
+// FaultPoint is one sample of a degradation curve: delivery rate before and
+// after a wire-fault event, plus the delivered/dropped/retried breakdown.
+type FaultPoint = bandwidth.FaultPoint
+
+// MeasureBetaUnderFaults produces a degradation curve for m under symmetric
+// traffic: for each fraction, a continuous run near saturation loses that
+// share of its wires a third of the way in, and the delivery rate is
+// compared across the pre- and post-fault windows.
+func MeasureBetaUnderFaults(m *Machine, fracs []float64, ticks int, seed int64) []FaultPoint {
+	return bandwidth.MeasureBetaUnderFaults(m, fracs, ticks, measure.NewSeedPlan(seed))
+}
+
+// MeasureOpenLoopSnapshotUnderFaults is MeasureOpenLoopSnapshot with a
+// fault scenario running mid-measurement: the spec is parsed, materialized
+// against m, and executed while traffic flows. Stranded packets retry with
+// the default FaultOptions; the snapshot carries the dropped/retried
+// counters and the per-tick dropped series.
+func MeasureOpenLoopSnapshotUnderFaults(m *Machine, rate float64, ticks, topK int, spec string, seed int64) (OpenLoopResult, Snapshot) {
+	plan := MustParseFaultSpec(spec)
+	rng := rand.New(rand.NewSource(seed))
+	sched := plan.Materialize(m, rng)
+	eng := routing.NewEngine(m, routing.Greedy)
+	return eng.OpenLoopFaultsSnapshot(traffic.NewSymmetric(m.N()), rate, ticks, rng, topK, sched, routing.FaultOptions{})
+}
+
+// DegradedEmulation reports an emulation that lost host processors mid-run:
+// whole-run totals plus the pre/post slowdown split, the dead-host set, and
+// how many guest processors were remapped.
+type DegradedEmulation = emulation.DegradedResult
+
+// EmulateDegraded runs the contraction emulation of guest on host, killing
+// failCount random host processors after failStep of the steps guest steps.
+// The dead hosts' guests are remapped to the nearest surviving host and the
+// run continues on the degraded machine; the result reports the slowdown
+// penalty the failure cost.
+func EmulateDegraded(guest, host *Machine, steps, failStep, failCount int, seed int64) DegradedEmulation {
+	return emulation.DirectDegraded(guest, host, steps, failStep, failCount, rand.New(rand.NewSource(seed)))
+}

@@ -87,3 +87,33 @@ func TestSnapshotGolden(t *testing.T) {
 	}
 	checkGolden(t, "snapshot_mesh2x5.golden.csv", buf.Bytes())
 }
+
+// Lock the snapshot schema of a faulted run too: the dropped/retried
+// counters and the per-tick dropped series must stay byte-stable, and the
+// schema version marks pre-fault snapshots as stale.
+func TestSnapshotFaultsGolden(t *testing.T) {
+	m := NewMesh(2, 5)
+	res, snap := MeasureOpenLoopSnapshotUnderFaults(m, 4, 120, 5, "edges:0.15@t30,nodes:2@t60", 7)
+
+	if snap.SchemaVersion != 2 {
+		t.Fatalf("schema version %d, want 2", snap.SchemaVersion)
+	}
+	if res.Dropped == 0 {
+		t.Fatal("killing 2 of 25 processors dropped nothing; the golden would not cover the fault counters")
+	}
+	if snap.Injected != snap.Delivered+snap.Dropped+snap.Backlog {
+		t.Fatalf("conservation: %d != %d+%d+%d", snap.Injected, snap.Delivered, snap.Dropped, snap.Backlog)
+	}
+
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "snapshot_mesh2x5_faults.golden.json", buf.Bytes())
+
+	buf.Reset()
+	if err := snap.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "snapshot_mesh2x5_faults.golden.csv", buf.Bytes())
+}

@@ -68,6 +68,11 @@ func MeasureBeta(m *topology.Machine, dist traffic.Distribution, opts MeasureOpt
 	if dist.N() != m.N() {
 		panic(fmt.Sprintf("bandwidth: distribution over %d endpoints on machine of %d", dist.N(), m.N()))
 	}
+	// A disconnected machine (a degraded clone, typically) makes some pairs
+	// undeliverable, which would stall the batch router forever; restrict
+	// the traffic to same-component pairs. Connected machines pass through
+	// untouched, keeping their historical rng sequences.
+	dist = deliverableDist(m, dist)
 	opts = opts.withDefaults()
 	plan := measure.NewSeedPlan(rng.Int63())
 	eng := routing.NewEngine(m, opts.Strategy)

@@ -212,19 +212,7 @@ func direct(guest, host *topology.Machine, steps int, assign []int, overlap bool
 
 	// The per-step message batch: both directions of every cross-block
 	// guest wire (multiplicity counts as parallel messages).
-	var template []traffic.Message
-	for _, e := range guest.Graph.Edges() {
-		if e.U >= guest.N() || e.V >= guest.N() {
-			continue // switch vertices don't run guest code
-		}
-		hu, hv := assign[e.U], assign[e.V]
-		if hu == hv {
-			continue
-		}
-		for k := int64(0); k < e.Mult; k++ {
-			template = append(template, traffic.Message{Src: hu, Dst: hv}, traffic.Message{Src: hv, Dst: hu})
-		}
-	}
+	template := crossTemplate(guest, assign)
 
 	res := Result{
 		Guest: guest, Host: host, GuestSteps: steps,

@@ -55,6 +55,7 @@ var sections = []section{
 	{"baselines", baselines},
 	{"patterns", patterns},
 	{"faults", faults},
+	{"resilience", resilience},
 }
 
 // Generate writes the report to w. Output depends only on Options.Quick and
@@ -463,5 +464,47 @@ func faults(r *experiment.Runner, o Options) string {
 	}
 	fmt.Fprintf(&b, "\nThe multibutterfly's expander splitters keep both its processors and\n")
 	fmt.Fprintf(&b, "its bandwidth; the butterfly's unique-path structure crumbles.\n")
+	return b.String()
+}
+
+func resilience(r *experiment.Runner, o Options) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "\n## Resilience: bandwidth degradation under dynamic faults\n\n")
+	fmt.Fprintf(&b, "Unlike the static audit above, these faults strike *mid-run*: a\n")
+	fmt.Fprintf(&b, "continuous measurement near saturation loses the given fraction of its\n")
+	fmt.Fprintf(&b, "wires a third of the way in, stranded packets reroute (with retry,\n")
+	fmt.Fprintf(&b, "backoff, and TTL), and the delivery rate is compared across the pre-\n")
+	fmt.Fprintf(&b, "and post-fault windows.\n\n")
+	fracs := []float64{0, 0.1, 0.2, 0.3}
+	ticks := 240
+	if o.Quick {
+		fracs = []float64{0, 0.2}
+		ticks = 150
+	}
+	kinds := []string{"Butterfly", "Multibutterfly"}
+	futs := make([]*experiment.Future[[]netemu.FaultPoint], len(kinds))
+	for i, which := range kinds {
+		which := which
+		futs[i] = experiment.Go(r, "resilience/"+which, func(rng *rand.Rand) []netemu.FaultPoint {
+			var m *netemu.Machine
+			if which == "Butterfly" {
+				m = netemu.NewButterfly(4)
+			} else {
+				m = netemu.NewMultibutterfly(4, rng.Int63())
+			}
+			return netemu.MeasureBetaUnderFaults(m, fracs, ticks, rng.Int63())
+		})
+	}
+	fmt.Fprintf(&b, "| machine | wire faults | β pre | β post | retained | dropped | retried |\n")
+	fmt.Fprintf(&b, "|---|---|---|---|---|---|---|\n")
+	for i, which := range kinds {
+		for _, p := range futs[i].Wait() {
+			fmt.Fprintf(&b, "| %s | %.0f%% | %.1f | %.1f | %.2f | %d | %d |\n",
+				which, 100*p.Frac, p.BetaIntact, p.BetaDegraded, p.Retention(), p.Dropped, p.Retried)
+		}
+	}
+	fmt.Fprintf(&b, "\nBoth curves bend, but the multibutterfly's expander splitters leave it\n")
+	fmt.Fprintf(&b, "more paths to reroute over, so it retains more of its bandwidth at\n")
+	fmt.Fprintf(&b, "every fault level.\n")
 	return b.String()
 }

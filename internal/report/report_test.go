@@ -41,6 +41,7 @@ func TestGenerateContainsEverySection(t *testing.T) {
 		"## §1.2 comparison: bandwidth method vs Koch",
 		"## Conclusion extension: algorithms as communication patterns",
 		"## Fault tolerance: butterfly vs multibutterfly",
+		"## Resilience: bandwidth degradation under dynamic faults",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing section %q", want)

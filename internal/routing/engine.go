@@ -84,6 +84,11 @@ type Engine struct {
 	distTo map[int][]int // destination -> BFS distance field
 	nbrs   [][]neighbor  // sorted adjacency, for deterministic rng use
 
+	// live is nil until EnableFaults: liveness-aware routing (masked
+	// distance fields, dead-wire skipping) costs the fault-free hot path
+	// nothing beyond a nil check.
+	live *liveState
+
 	// Directed edges get dense ids: slot k of nbrs[u] is edge edgeBase[u]+k.
 	// Sim uses the ids to keep per-tick wire usage in a flat array instead
 	// of a map.
@@ -129,6 +134,9 @@ func (e *Engine) edgeEnds(id int32) (int, int) {
 }
 
 func (e *Engine) dist(dst int) []int {
+	if e.live != nil {
+		return e.liveDist(dst)
+	}
 	if d, ok := e.distTo[dst]; ok {
 		return d
 	}
@@ -191,11 +199,15 @@ func (e *Engine) pickHop(u, dst int, edgeUsed []int32, rng *rand.Rand) (int, int
 	best := -1
 	var bestEdge int32 = -1
 	count := 0
+	lv := e.live
 	for k, nb := range e.nbrs[u] {
 		if d[nb.v] != du {
 			continue
 		}
 		id := base + int32(k)
+		if lv != nil && lv.edgeDown[id] {
+			continue
+		}
 		if int64(edgeUsed[id]) >= nb.mult {
 			continue
 		}

@@ -1,0 +1,278 @@
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// Dynamic-fault support: an Engine can mask wires and processors as dead
+// mid-run and route around them, and a Sim can execute a
+// topology.FaultSchedule while packets are in flight. Routing tables are
+// masked lazily: every fault event invalidates the live distance cache and
+// each destination's field is recomputed (on the surviving subgraph) the
+// first time a packet needs it, so a machine that only ever routes to a few
+// destinations after a fault pays only for those.
+//
+// Packets stranded by a fault — no live path from their current vertex to
+// their target — are not lost immediately: they back off exponentially and
+// retry, surviving transient partitions (a later heal restores the route).
+// A per-packet retry budget and a TTL bound the wait; exhausting either
+// counts the packet as dropped. The conservation invariant under faults is
+//
+//	injected = delivered + in-flight + dropped
+//
+// at every tick, which TestFaultConservationOnTable4Machines enforces.
+
+// liveState is the engine's fault mask: per-directed-edge and per-vertex
+// down flags plus a distance-field cache over the live subgraph, rebuilt
+// lazily after every fault event.
+type liveState struct {
+	edgeDown []bool // per directed edge id
+	nodeDown []bool // per vertex
+	distTo   map[int][]int
+	downDirEdges int
+	downNodes    int
+}
+
+// EnableFaults switches the engine into liveness-aware routing. An engine
+// with faults enabled belongs to the Sim driving it: the fault mask is
+// engine state, so do not share it across concurrent or interleaved sims.
+func (e *Engine) EnableFaults() {
+	if e.live == nil {
+		e.live = &liveState{
+			edgeDown: make([]bool, e.numEdges),
+			nodeDown: make([]bool, len(e.nbrs)),
+			distTo:   make(map[int][]int),
+		}
+	}
+}
+
+// FaultsEnabled reports whether liveness-aware routing is on.
+func (e *Engine) FaultsEnabled() bool { return e.live != nil }
+
+// NodeDown reports whether vertex v is currently failed. Always false when
+// faults are not enabled.
+func (e *Engine) NodeDown(v int) bool { return e.live != nil && e.live.nodeDown[v] }
+
+// DownCounts returns the number of directed edges and vertices currently
+// masked dead.
+func (e *Engine) DownCounts() (edges, nodes int) {
+	if e.live == nil {
+		return 0, 0
+	}
+	return e.live.downDirEdges, e.live.downNodes
+}
+
+// dirEdgeID returns the dense id of directed edge u->v, or -1 if absent.
+func (e *Engine) dirEdgeID(u, v int) int32 {
+	base := e.edgeBase[u]
+	for k, nb := range e.nbrs[u] {
+		if nb.v == v {
+			return base + int32(k)
+		}
+	}
+	return -1
+}
+
+func (e *Engine) setEdgeDown(u, v int, down bool) {
+	for _, id := range [2]int32{e.dirEdgeID(u, v), e.dirEdgeID(v, u)} {
+		if id < 0 {
+			continue
+		}
+		if e.live.edgeDown[id] != down {
+			e.live.edgeDown[id] = down
+			if down {
+				e.live.downDirEdges++
+			} else {
+				e.live.downDirEdges--
+			}
+		}
+	}
+}
+
+// ApplyFaultEvent applies one materialized event to the mask: the listed
+// wires and processors go down, or (Heal) every masked element recovers.
+// The live distance cache is invalidated; fields are recomputed on demand.
+func (e *Engine) ApplyFaultEvent(ev topology.FaultEvent) {
+	e.EnableFaults()
+	lv := e.live
+	if ev.Heal {
+		for i := range lv.edgeDown {
+			lv.edgeDown[i] = false
+		}
+		for i := range lv.nodeDown {
+			lv.nodeDown[i] = false
+		}
+		lv.downDirEdges, lv.downNodes = 0, 0
+	}
+	for _, ef := range ev.Edges {
+		e.setEdgeDown(ef.U, ef.V, true)
+	}
+	for _, v := range ev.Nodes {
+		if v < 0 || v >= len(lv.nodeDown) {
+			panic(fmt.Sprintf("routing: fault event fails vertex %d of %d", v, len(lv.nodeDown)))
+		}
+		if !lv.nodeDown[v] {
+			lv.nodeDown[v] = true
+			lv.downNodes++
+		}
+	}
+	lv.distTo = make(map[int][]int)
+}
+
+// liveDist returns the BFS distance field to dst over the live subgraph:
+// masked wires and vertices do not exist, unreachable vertices get -1.
+func (e *Engine) liveDist(dst int) []int {
+	lv := e.live
+	if d, ok := lv.distTo[dst]; ok {
+		return d
+	}
+	n := len(e.nbrs)
+	d := make([]int, n)
+	for i := range d {
+		d[i] = -1
+	}
+	if !lv.nodeDown[dst] {
+		queue := make([]int, 0, n)
+		d[dst] = 0
+		queue = append(queue, dst)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			base := e.edgeBase[u]
+			for k, nb := range e.nbrs[u] {
+				if d[nb.v] >= 0 || lv.edgeDown[base+int32(k)] || lv.nodeDown[nb.v] {
+					continue
+				}
+				d[nb.v] = d[u] + 1
+				queue = append(queue, nb.v)
+			}
+		}
+	}
+	lv.distTo[dst] = d
+	return d
+}
+
+// FaultOptions tunes how a Sim treats packets stranded by faults.
+type FaultOptions struct {
+	// RetryBudget is the number of reroute attempts a stranded packet may
+	// make before it is dropped. Default 8.
+	RetryBudget int
+	// BackoffBase is the tick count of the first backoff; each further
+	// retry doubles it (capped at 1024 ticks). Default 2.
+	BackoffBase int
+	// TTL is the maximum age in ticks a packet may reach before it is
+	// dropped regardless of retries. Default 512.
+	TTL int
+}
+
+func (o FaultOptions) withDefaults() FaultOptions {
+	if o.RetryBudget < 1 {
+		o.RetryBudget = 8
+	}
+	if o.RetryBudget > 64 {
+		o.RetryBudget = 64
+	}
+	if o.BackoffBase < 1 {
+		o.BackoffBase = 2
+	}
+	if o.TTL < 1 {
+		o.TTL = 512
+	}
+	return o
+}
+
+// faultState is the Sim side of a fault run: the schedule cursor and the
+// resilience knobs.
+type faultState struct {
+	sched *topology.FaultSchedule
+	opts  FaultOptions
+	next  int // next unapplied event index
+}
+
+// SetFaults arms the sim with a materialized fault schedule: events fire at
+// the start of the tick they are keyed to (events keyed before the current
+// tick fire immediately on the next Step). Enables liveness-aware routing
+// on the engine, which then belongs to this sim. The zero FaultOptions
+// takes the documented defaults.
+func (s *Sim) SetFaults(sched *topology.FaultSchedule, opts FaultOptions) {
+	if sched == nil {
+		panic("routing: SetFaults with nil schedule")
+	}
+	s.eng.EnableFaults()
+	s.faults = &faultState{sched: sched, opts: opts.withDefaults()}
+}
+
+// Dropped returns the number of packets lost to faults: queued at a
+// processor when it died, addressed to a dead endpoint, or stranded past
+// their retry budget or TTL.
+func (s *Sim) Dropped() int { return s.dropped }
+
+// Retried returns the total number of stranded-packet retry events.
+func (s *Sim) Retried() int { return s.retried }
+
+// applyFaultEvents fires every schedule event due at or before the current
+// tick, then reaps packets the new mask orphans.
+func (s *Sim) applyFaultEvents() {
+	fs := s.faults
+	applied := false
+	for fs.next < len(fs.sched.Events) && fs.sched.Events[fs.next].Tick <= s.now {
+		s.eng.ApplyFaultEvent(fs.sched.Events[fs.next])
+		fs.next++
+		applied = true
+	}
+	if applied {
+		s.reapDeadPackets()
+	}
+}
+
+// reapDeadPackets drops every packet queued at a dead processor and every
+// packet whose final destination died; Valiant packets that lost only
+// their intermediate are retargeted at their destination instead.
+func (s *Sim) reapDeadPackets() {
+	lv := s.eng.live
+	for _, u := range s.active {
+		q := s.queues[u]
+		if len(q) == 0 {
+			continue
+		}
+		if lv.nodeDown[u] {
+			// A dead processor loses its queue wholesale.
+			s.dropped += len(q)
+			s.droppedTick += len(q)
+			s.queues[u] = q[:0]
+			continue
+		}
+		kept := q[:0]
+		for _, p := range q {
+			if lv.nodeDown[p.finalDst] {
+				s.dropped++
+				s.droppedTick++
+				continue
+			}
+			if p.phase1 && lv.nodeDown[p.dst] {
+				// The Valiant intermediate died; head straight for the
+				// destination.
+				p.phase1 = false
+				p.dst = p.finalDst
+			}
+			kept = append(kept, p)
+		}
+		s.queues[u] = kept
+	}
+}
+
+// backoffTicks returns the exponential backoff for the given retry number,
+// capped at 1024 ticks.
+func backoffTicks(base int, retries uint8) int {
+	shift := int(retries) - 1
+	if shift > 10 {
+		shift = 10
+	}
+	b := base << shift
+	if b > 1024 {
+		b = 1024
+	}
+	return b
+}

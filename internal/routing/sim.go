@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/topology"
 	"repro/internal/traffic"
 )
 
@@ -34,18 +35,24 @@ type Sim struct {
 	// Counters.
 	injected     int
 	delivered    int
+	dropped      int // lost to faults: dead endpoints, spent retries, TTL
+	retried      int // stranded-packet retry events
 	totalHops    int64
 	latencySum   int64
 	latHist      Histogram
 	maxQueue     int
 	injectedTick int // injections since the last Step, for the stats series
+	droppedTick  int // drops since the last stats capture
 
-	stats *statsRec // nil unless EnableStats was called
+	stats  *statsRec   // nil unless EnableStats was called
+	faults *faultState // nil unless SetFaults was called
 }
 
 type simPacket struct {
 	packet
-	born int
+	born       int
+	retries    uint8 // reroute attempts while stranded (faults only)
+	sleepUntil int   // tick before which a backed-off packet is not served
 }
 
 // NewSim returns a fresh simulation on the engine's machine.
@@ -66,8 +73,10 @@ func (e *Engine) NewSim(rng *rand.Rand) *Sim {
 // Now returns the current tick.
 func (s *Sim) Now() int { return s.now }
 
-// InFlight returns the number of undelivered messages.
-func (s *Sim) InFlight() int { return s.injected - s.delivered }
+// InFlight returns the number of messages still queued somewhere in the
+// machine: injected minus delivered minus dropped. The fault conservation
+// invariant is that this always equals the total queued-packet count.
+func (s *Sim) InFlight() int { return s.injected - s.delivered - s.dropped }
 
 // Delivered returns the number of delivered messages.
 func (s *Sim) Delivered() int { return s.delivered }
@@ -113,10 +122,19 @@ func (s *Sim) injectOne(m traffic.Message) {
 	if !s.eng.M.IsProcessor(m.Src) || !s.eng.M.IsProcessor(m.Dst) {
 		panic(fmt.Sprintf("routing: message %+v endpoints must be processors", m))
 	}
+	if lv := s.eng.live; lv != nil && (lv.nodeDown[m.Src] || lv.nodeDown[m.Dst]) {
+		// Traffic at a dead endpoint is lost, not queued: it still counts
+		// as injected so the conservation invariant stays exact.
+		s.injected++
+		s.injectedTick++
+		s.dropped++
+		s.droppedTick++
+		return
+	}
 	p := simPacket{packet: packet{at: m.Src, dst: m.Dst, finalDst: m.Dst}, born: s.now}
 	if s.eng.Strategy == Valiant {
 		mid := s.rng.Intn(s.eng.M.N())
-		if mid != m.Src && mid != m.Dst {
+		if mid != m.Src && mid != m.Dst && !s.eng.NodeDown(mid) {
 			p.dst = mid
 			p.phase1 = true
 		}
@@ -150,6 +168,10 @@ func (s *Sim) Step() int {
 	s.now++
 	injectedThisTick := s.injectedTick
 	s.injectedTick = 0
+	fs := s.faults
+	if fs != nil {
+		s.applyFaultEvents()
+	}
 	for _, id := range s.touched {
 		s.edgeUsed[id] = 0
 	}
@@ -171,8 +193,41 @@ func (s *Sim) Step() int {
 				kept = append(kept, q[qi:]...)
 				break
 			}
+			if fs != nil {
+				if p.sleepUntil > s.now {
+					kept = append(kept, p)
+					continue
+				}
+				if s.now-p.born > fs.opts.TTL {
+					s.dropped++
+					s.droppedTick++
+					continue
+				}
+			}
 			h, edge := s.eng.pickHop(u, p.dst, s.edgeUsed, s.rng)
 			if h < 0 {
+				if fs != nil && s.eng.dist(p.dst)[u] < 0 {
+					// Stranded: no live path to the target at all (as
+					// opposed to every downhill wire being busy this tick).
+					if p.phase1 {
+						// Only the Valiant intermediate is unreachable;
+						// head straight for the destination instead.
+						p.phase1 = false
+						p.dst = p.finalDst
+						kept = append(kept, p)
+						continue
+					}
+					p.retries++
+					s.retried++
+					if int(p.retries) > fs.opts.RetryBudget {
+						s.dropped++
+						s.droppedTick++
+						continue
+					}
+					p.sleepUntil = s.now + backoffTicks(fs.opts.BackoffBase, p.retries)
+					kept = append(kept, p)
+					continue
+				}
 				kept = append(kept, p)
 				continue
 			}
@@ -219,8 +274,10 @@ func (s *Sim) Step() int {
 		}
 		s.push(p)
 	}
+	droppedThisTick := s.droppedTick
+	s.droppedTick = 0
 	if s.stats != nil {
-		s.stats.observeTick(s, injectedThisTick, deliveredNow)
+		s.stats.observeTick(s, injectedThisTick, deliveredNow, droppedThisTick)
 	}
 	return deliveredNow
 }
@@ -251,6 +308,8 @@ type OpenLoopResult struct {
 	Ticks       int
 	Injected    int
 	Delivered   int
+	Dropped     int     // packets lost to faults (0 on fault-free runs)
+	Retried     int     // stranded-packet retry events (0 on fault-free runs)
 	Throughput  float64 // delivered per tick over the measurement window
 	MeanLatency float64
 	P95Latency  int // 95th percentile delivery latency over the whole run
@@ -276,6 +335,18 @@ func (e *Engine) OpenLoop(dist traffic.Distribution, rate float64, ticks int, rn
 func (e *Engine) OpenLoopSnapshot(dist traffic.Distribution, rate float64, ticks int, rng *rand.Rand, topK int) (OpenLoopResult, Snapshot) {
 	s := e.NewSim(rng)
 	s.EnableStats()
+	res, _ := e.openLoop(dist, rate, ticks, rng, s)
+	return res, s.Snapshot(topK)
+}
+
+// OpenLoopFaultsSnapshot is OpenLoopSnapshot with a fault schedule armed on
+// the sim before the first tick: events fire as the run crosses their ticks,
+// stranded packets retry/back off per opts, and the returned result and
+// snapshot carry the dropped/retried counters.
+func (e *Engine) OpenLoopFaultsSnapshot(dist traffic.Distribution, rate float64, ticks int, rng *rand.Rand, topK int, sched *topology.FaultSchedule, opts FaultOptions) (OpenLoopResult, Snapshot) {
+	s := e.NewSim(rng)
+	s.EnableStats()
+	s.SetFaults(sched, opts)
 	res, _ := e.openLoop(dist, rate, ticks, rng, s)
 	return res, s.Snapshot(topK)
 }
@@ -313,6 +384,8 @@ func (e *Engine) openLoop(dist traffic.Distribution, rate float64, ticks int, rn
 		Ticks:     ticks,
 		Injected:  s.Injected(),
 		Delivered: s.Delivered(),
+		Dropped:   s.Dropped(),
+		Retried:   s.Retried(),
 		Backlog:   s.InFlight(),
 	}
 	window := ticks - warmup

@@ -13,6 +13,7 @@ import (
 type statsRec struct {
 	injectedSeries  []int
 	deliveredSeries []int
+	droppedSeries   []int
 	queueOcc        Histogram // queue length per vertex, sampled every tick
 	edgeTotals      []int64   // cumulative traversals per directed edge id
 }
@@ -27,9 +28,10 @@ func (s *Sim) EnableStats() {
 }
 
 // observeTick records the per-tick series and samples queue occupancy.
-func (r *statsRec) observeTick(s *Sim, injected, delivered int) {
+func (r *statsRec) observeTick(s *Sim, injected, delivered, dropped int) {
 	r.injectedSeries = append(r.injectedSeries, injected)
 	r.deliveredSeries = append(r.deliveredSeries, delivered)
+	r.droppedSeries = append(r.droppedSeries, dropped)
 	occupied := 0
 	for _, u := range s.active {
 		r.queueOcc.Record(len(s.queues[u]))
@@ -54,17 +56,28 @@ type QuantilePoint struct {
 	Ticks int     `json:"ticks"`
 }
 
+// SnapshotSchemaVersion is the current snapshot JSON schema. Version 2
+// added schema_version itself plus the fault counters (dropped, retried)
+// and the per-tick dropped series/CSV column; version-1 snapshots (no
+// schema_version field, decoding as 0) predate dynamic faults and are
+// detectably stale.
+const SnapshotSchemaVersion = 2
+
 // Snapshot is a point-in-time export of a Sim's statistical state: global
-// counters, latency quantiles from the streaming histogram, the sampled
-// queue-occupancy histogram, top-k edge utilization, and (when stats are
-// enabled) the per-tick injected/delivered series. It is the observability
-// surface behind the -stats flag of cmd/betameter and cmd/emusim; the JSON
-// schema is locked by a golden test.
+// counters (including fault drops and retries), latency quantiles from the
+// streaming histogram, the sampled queue-occupancy histogram, top-k edge
+// utilization, and (when stats are enabled) the per-tick
+// injected/delivered/dropped series. It is the observability surface
+// behind the -stats flag of cmd/betameter and cmd/emusim; the JSON schema
+// is locked by a golden test.
 type Snapshot struct {
+	SchemaVersion    int             `json:"schema_version"`
 	Machine          string          `json:"machine"`
 	Ticks            int             `json:"ticks"`
 	Injected         int             `json:"injected"`
 	Delivered        int             `json:"delivered"`
+	Dropped          int             `json:"dropped"`
+	Retried          int             `json:"retried"`
 	Backlog          int             `json:"backlog"`
 	TotalHops        int64           `json:"total_hops"`
 	MaxQueue         int             `json:"max_queue"`
@@ -74,6 +87,7 @@ type Snapshot struct {
 	TopEdges         []EdgeLoad      `json:"top_edges,omitempty"`
 	InjectedSeries   []int           `json:"injected_series,omitempty"`
 	DeliveredSeries  []int           `json:"delivered_series,omitempty"`
+	DroppedSeries    []int           `json:"dropped_series,omitempty"`
 }
 
 var snapshotQuantiles = []float64{0.50, 0.90, 0.95, 0.99, 1.0}
@@ -86,14 +100,17 @@ func (s *Sim) Snapshot(topK int) Snapshot {
 		topK = 10
 	}
 	sn := Snapshot{
-		Machine:     s.eng.M.Name,
-		Ticks:       s.now,
-		Injected:    s.injected,
-		Delivered:   s.delivered,
-		Backlog:     s.InFlight(),
-		TotalHops:   s.totalHops,
-		MaxQueue:    s.maxQueue,
-		MeanLatency: s.MeanLatency(),
+		SchemaVersion: SnapshotSchemaVersion,
+		Machine:       s.eng.M.Name,
+		Ticks:         s.now,
+		Injected:      s.injected,
+		Delivered:     s.delivered,
+		Dropped:       s.dropped,
+		Retried:       s.retried,
+		Backlog:       s.InFlight(),
+		TotalHops:     s.totalHops,
+		MaxQueue:      s.maxQueue,
+		MeanLatency:   s.MeanLatency(),
 	}
 	for _, p := range snapshotQuantiles {
 		sn.LatencyQuantiles = append(sn.LatencyQuantiles, QuantilePoint{P: p, Ticks: s.latHist.Quantile(p)})
@@ -102,6 +119,7 @@ func (s *Sim) Snapshot(topK int) Snapshot {
 		sn.QueueOccupancy = r.queueOcc.Buckets()
 		sn.InjectedSeries = r.injectedSeries
 		sn.DeliveredSeries = r.deliveredSeries
+		sn.DroppedSeries = r.droppedSeries
 		sn.TopEdges = topEdges(s.eng, r.edgeTotals, topK, s.now)
 	}
 	return sn
@@ -146,21 +164,24 @@ func (sn Snapshot) WriteJSON(w io.Writer) error {
 }
 
 // WriteCSV writes the per-tick series as CSV rows (tick, injected,
-// delivered). It requires stats to have been enabled, returning an error
-// otherwise.
+// delivered, dropped). It requires stats to have been enabled, returning
+// an error otherwise.
 func (sn Snapshot) WriteCSV(w io.Writer) error {
 	if len(sn.DeliveredSeries) == 0 {
 		return fmt.Errorf("routing: snapshot has no per-tick series (EnableStats not called)")
 	}
-	if _, err := fmt.Fprintln(w, "tick,injected,delivered"); err != nil {
+	if _, err := fmt.Fprintln(w, "tick,injected,delivered,dropped"); err != nil {
 		return err
 	}
 	for t := range sn.DeliveredSeries {
-		inj := 0
+		inj, drp := 0, 0
 		if t < len(sn.InjectedSeries) {
 			inj = sn.InjectedSeries[t]
 		}
-		if _, err := fmt.Fprintf(w, "%d,%d,%d\n", t+1, inj, sn.DeliveredSeries[t]); err != nil {
+		if t < len(sn.DroppedSeries) {
+			drp = sn.DroppedSeries[t]
+		}
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d\n", t+1, inj, sn.DeliveredSeries[t], drp); err != nil {
 			return err
 		}
 	}

@@ -16,9 +16,15 @@ import (
 // independently with probability frac (all parallel wires of the pair go
 // together). The name gains a "/faults" suffix. The result may be
 // disconnected; callers that need connectivity must check.
+//
+// frac must be in [0, 1): frac == 0 is allowed and returns an intact clone
+// (a zero-fault baseline), while frac == 1 is rejected — deleting every
+// wire with certainty would leave no machine to measure. For dynamic
+// mid-run faults use a FaultPlan/FaultSchedule instead.
 func DeleteRandomEdges(m *Machine, frac float64, rng *rand.Rand) *Machine {
 	if frac < 0 || frac >= 1 {
-		panic(fmt.Sprintf("topology: fault fraction %v out of [0,1)", frac))
+		panic(fmt.Sprintf("topology: deleting wires of %s with probability %v is out of range: the fault fraction must be in [0,1) (1 would delete all %d wires)",
+			m.Name, frac, m.Graph.DistinctEdges()))
 	}
 	g := m.Graph.Clone()
 	for _, e := range m.Graph.Edges() {

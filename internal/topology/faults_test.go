@@ -26,6 +26,8 @@ func TestDeleteRandomEdges(t *testing.T) {
 	}
 }
 
+// ISSUE satellite: the lower boundary frac == 0 is a documented no-op
+// clone — same wires, independent graph, "/faults" name.
 func TestDeleteRandomEdgesZeroFraction(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	m := Ring(10)
@@ -33,15 +35,40 @@ func TestDeleteRandomEdgesZeroFraction(t *testing.T) {
 	if d.Graph.E() != m.Graph.E() {
 		t.Fatal("edges deleted at frac 0")
 	}
+	if d.Name != "Ring[10]/faults" {
+		t.Fatalf("name %q", d.Name)
+	}
+	// The clone must be independent of the original.
+	d.Graph.RemoveEdge(0, 1, 1)
+	if m.Graph.E() != 10 {
+		t.Fatalf("original mutated through the clone: E=%d", m.Graph.E())
+	}
 }
 
+// ISSUE satellite: the upper boundary frac == 1 panics with an explicit
+// machine/limit message in the DeleteRandomProcessors style, not a bare
+// "out of [0,1)".
 func TestDeleteRandomEdgesBadFracPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic")
-		}
-	}()
-	DeleteRandomEdges(Ring(8), 1.0, rand.New(rand.NewSource(3)))
+	mustPanic := func(name string, frac float64, want string) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+			msg, ok := r.(string)
+			if !ok {
+				t.Fatalf("%s: panic value %v", name, r)
+			}
+			if !strings.Contains(msg, want) {
+				t.Fatalf("%s: panic %q does not mention %q", name, msg, want)
+			}
+		}()
+		DeleteRandomEdges(Ring(8), frac, rand.New(rand.NewSource(3)))
+	}
+	mustPanic("one", 1.0, "1 would delete all 8 wires")
+	mustPanic("beyond", 1.5, "must be in [0,1)")
+	mustPanic("negative", -0.1, "must be in [0,1)")
 }
 
 func TestDeleteRandomProcessors(t *testing.T) {

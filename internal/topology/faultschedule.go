@@ -1,0 +1,245 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Dynamic fault schedules: wires and processors dying (and optionally
+// recovering) at specific tick numbers while a simulation runs. A
+// FaultPlan is the symbolic description — "15% of the wires at tick 100,
+// 8 processors at tick 500, heal at tick 900" — parsed from a compact spec
+// string or built directly. Materialize draws the concrete victims from an
+// rng, producing a FaultSchedule of explicit events the routing simulator
+// applies tick by tick. Drawing the rng from a measure.SeedPlan stream
+// keyed by the experiment's identity keeps fault runs deterministic at any
+// parallelism, like every other measurement in the repo.
+
+// FaultKind classifies one clause of a fault plan.
+type FaultKind int
+
+const (
+	// EdgeFaults removes a fraction of the distinct wires still alive
+	// (all parallel wires of a pair go together, as in DeleteRandomEdges).
+	EdgeFaults FaultKind = iota
+	// NodeFaults fails a count of live processors: a failed processor
+	// keeps its vertex but all its wires go down and traffic to or from it
+	// is dropped. Switch vertices never fail.
+	NodeFaults
+	// Heal restores every wire and processor failed so far.
+	Heal
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case EdgeFaults:
+		return "edges"
+	case NodeFaults:
+		return "nodes"
+	case Heal:
+		return "heal"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// FaultClause is one symbolic entry of a FaultPlan.
+type FaultClause struct {
+	Kind FaultKind
+	Tick int
+	// Frac is the wire fraction for EdgeFaults (in [0,1)).
+	Frac float64
+	// Count is the processor count for NodeFaults (>= 1).
+	Count int
+}
+
+func (c FaultClause) String() string {
+	switch c.Kind {
+	case EdgeFaults:
+		return fmt.Sprintf("edges:%v@t%d", c.Frac, c.Tick)
+	case NodeFaults:
+		return fmt.Sprintf("nodes:%d@t%d", c.Count, c.Tick)
+	default:
+		return fmt.Sprintf("heal@t%d", c.Tick)
+	}
+}
+
+// FaultPlan is a symbolic fault schedule: clauses sorted by tick.
+type FaultPlan []FaultClause
+
+// String renders the plan in the spec-string format ParseFaultSpec accepts.
+func (p FaultPlan) String() string {
+	parts := make([]string, len(p))
+	for i, c := range p {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseFaultSpec parses a compact fault-schedule spec of comma-separated
+// clauses:
+//
+//	edges:0.05@t100   — 5% of the live wires fail at tick 100
+//	nodes:8@t500      — 8 live processors fail at tick 500
+//	heal@t900         — everything failed so far recovers at tick 900
+//
+// Clauses may appear in any order; the returned plan is sorted by tick.
+func ParseFaultSpec(spec string) (FaultPlan, error) {
+	var plan FaultPlan
+	for _, raw := range strings.Split(spec, ",") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		head, tickPart, ok := strings.Cut(raw, "@")
+		if !ok {
+			return nil, fmt.Errorf("topology: fault clause %q has no @t<tick>", raw)
+		}
+		if !strings.HasPrefix(tickPart, "t") {
+			return nil, fmt.Errorf("topology: fault clause %q: tick must look like t100", raw)
+		}
+		tick, err := strconv.Atoi(tickPart[1:])
+		if err != nil || tick < 0 {
+			return nil, fmt.Errorf("topology: fault clause %q: bad tick %q", raw, tickPart)
+		}
+		kindPart, amount, hasAmount := strings.Cut(head, ":")
+		switch kindPart {
+		case "edges":
+			if !hasAmount {
+				return nil, fmt.Errorf("topology: fault clause %q: edges needs a fraction (edges:0.05@t100)", raw)
+			}
+			frac, err := strconv.ParseFloat(amount, 64)
+			if err != nil || frac < 0 || frac >= 1 {
+				return nil, fmt.Errorf("topology: fault clause %q: wire fraction must be in [0,1), got %q", raw, amount)
+			}
+			plan = append(plan, FaultClause{Kind: EdgeFaults, Tick: tick, Frac: frac})
+		case "nodes":
+			if !hasAmount {
+				return nil, fmt.Errorf("topology: fault clause %q: nodes needs a count (nodes:8@t500)", raw)
+			}
+			count, err := strconv.Atoi(amount)
+			if err != nil || count < 1 {
+				return nil, fmt.Errorf("topology: fault clause %q: processor count must be >= 1, got %q", raw, amount)
+			}
+			plan = append(plan, FaultClause{Kind: NodeFaults, Tick: tick, Count: count})
+		case "heal":
+			if hasAmount {
+				return nil, fmt.Errorf("topology: fault clause %q: heal takes no amount", raw)
+			}
+			plan = append(plan, FaultClause{Kind: Heal, Tick: tick})
+		default:
+			return nil, fmt.Errorf("topology: fault clause %q: unknown kind %q (want edges, nodes, or heal)", raw, kindPart)
+		}
+	}
+	if len(plan) == 0 {
+		return nil, fmt.Errorf("topology: empty fault spec %q", spec)
+	}
+	sort.SliceStable(plan, func(i, j int) bool { return plan[i].Tick < plan[j].Tick })
+	return plan, nil
+}
+
+// MustParseFaultSpec is ParseFaultSpec that panics on error, for literals.
+func MustParseFaultSpec(spec string) FaultPlan {
+	plan, err := ParseFaultSpec(spec)
+	if err != nil {
+		panic(err)
+	}
+	return plan
+}
+
+// EdgeFault is one wire going down (all Mult parallel edges together).
+type EdgeFault struct {
+	U, V int
+	Mult int64
+}
+
+// FaultEvent is one concrete scheduled event: at Tick, the listed wires and
+// processors fail, or (Heal) everything failed so far recovers.
+type FaultEvent struct {
+	Tick  int
+	Edges []EdgeFault
+	Nodes []int
+	Heal  bool
+}
+
+// FaultSchedule is a materialized fault plan: concrete events in
+// nondecreasing tick order, ready for the routing simulator.
+type FaultSchedule struct {
+	Events []FaultEvent
+}
+
+// TotalEdgeFaults returns the number of distinct wires the schedule fails
+// (over all events, counting re-failures after a heal separately).
+func (s *FaultSchedule) TotalEdgeFaults() int {
+	n := 0
+	for _, ev := range s.Events {
+		n += len(ev.Edges)
+	}
+	return n
+}
+
+// TotalNodeFaults returns the number of processor failures scheduled.
+func (s *FaultSchedule) TotalNodeFaults() int {
+	n := 0
+	for _, ev := range s.Events {
+		n += len(ev.Nodes)
+	}
+	return n
+}
+
+// Materialize draws the concrete victims of each clause for machine m using
+// rng, tracking which wires and processors are already down so a clause
+// only ever fails live elements (and a heal makes everything eligible
+// again). Edge clauses fail each live wire independently with probability
+// Frac; node clauses fail exactly Count live processors, panicking in the
+// DeleteRandomProcessors style if the clause would leave none alive.
+func (p FaultPlan) Materialize(m *Machine, rng *rand.Rand) *FaultSchedule {
+	type pair struct{ u, v int }
+	downEdges := make(map[pair]bool)
+	downNodes := make(map[int]bool)
+	edges := m.Graph.Edges()
+	sched := &FaultSchedule{}
+	for _, c := range p {
+		ev := FaultEvent{Tick: c.Tick}
+		switch c.Kind {
+		case EdgeFaults:
+			for _, e := range edges {
+				key := pair{e.U, e.V}
+				if downEdges[key] || downNodes[e.U] || downNodes[e.V] {
+					continue
+				}
+				if rng.Float64() < c.Frac {
+					downEdges[key] = true
+					ev.Edges = append(ev.Edges, EdgeFault{U: e.U, V: e.V, Mult: e.Mult})
+				}
+			}
+		case NodeFaults:
+			var alive []int
+			for v := 0; v < m.N(); v++ {
+				if !downNodes[v] {
+					alive = append(alive, v)
+				}
+			}
+			if c.Count >= len(alive) {
+				panic(fmt.Sprintf("topology: fault clause %s would fail %d of %d live processors on %s, leaving none alive; at most %d may fail",
+					c, c.Count, len(alive), m.Name, len(alive)-1))
+			}
+			perm := rng.Perm(len(alive))[:c.Count]
+			sort.Ints(perm)
+			for _, i := range perm {
+				v := alive[i]
+				downNodes[v] = true
+				ev.Nodes = append(ev.Nodes, v)
+			}
+		case Heal:
+			ev.Heal = true
+			downEdges = make(map[pair]bool)
+			downNodes = make(map[int]bool)
+		}
+		sched.Events = append(sched.Events, ev)
+	}
+	return sched
+}
