@@ -123,6 +123,14 @@ func MeasureSteadyBeta(m *Machine, ticks, iters int, seed int64) float64 {
 	return bandwidth.SteadyStateBeta(m, ticks, iters, rand.New(rand.NewSource(seed)))
 }
 
+// MeasureSteadyBetaSharded is MeasureSteadyBeta on a simulator sharded
+// across the given number of goroutines (0 or 1 = serial). The value is
+// bit-identical at every shard count; sharding only buys wall-clock time on
+// large machines.
+func MeasureSteadyBetaSharded(m *Machine, ticks, iters, shards int, seed int64) float64 {
+	return bandwidth.SteadyStateBetaSharded(m, ticks, iters, shards, rand.New(rand.NewSource(seed)))
+}
+
 // OpenLoopResult reports a steady-state open-loop run: throughput, mean
 // and tail latency, backlog, and stability.
 type OpenLoopResult = routing.OpenLoopResult
@@ -130,8 +138,16 @@ type OpenLoopResult = routing.OpenLoopResult
 // MeasureOpenLoop injects all-pairs traffic at the given rate for the
 // given ticks and reports the steady-state behaviour.
 func MeasureOpenLoop(m *Machine, rate float64, ticks int, seed int64) OpenLoopResult {
+	return MeasureOpenLoopSharded(m, rate, ticks, 1, seed)
+}
+
+// MeasureOpenLoopSharded is MeasureOpenLoop on a simulator sharded across
+// the given number of goroutines (0 or 1 = serial); the result is
+// bit-identical at every shard count.
+func MeasureOpenLoopSharded(m *Machine, rate float64, ticks, shards int, seed int64) OpenLoopResult {
 	rng := rand.New(rand.NewSource(seed))
 	eng := routing.NewEngine(m, routing.Greedy)
+	eng.Shards = shards
 	return eng.OpenLoop(traffic.NewSymmetric(m.N()), rate, ticks, rng)
 }
 
@@ -145,8 +161,16 @@ type Snapshot = routing.Snapshot
 // additionally returns the Snapshot of the run. topK bounds the edge
 // utilization list (<= 0 means 10).
 func MeasureOpenLoopSnapshot(m *Machine, rate float64, ticks, topK int, seed int64) (OpenLoopResult, Snapshot) {
+	return MeasureOpenLoopSnapshotSharded(m, rate, ticks, topK, 1, seed)
+}
+
+// MeasureOpenLoopSnapshotSharded is MeasureOpenLoopSnapshot on a simulator
+// sharded across the given number of goroutines (0 or 1 = serial); result
+// and snapshot are bit-identical at every shard count.
+func MeasureOpenLoopSnapshotSharded(m *Machine, rate float64, ticks, topK, shards int, seed int64) (OpenLoopResult, Snapshot) {
 	rng := rand.New(rand.NewSource(seed))
 	eng := routing.NewEngine(m, routing.Greedy)
+	eng.Shards = shards
 	return eng.OpenLoopSnapshot(traffic.NewSymmetric(m.N()), rate, ticks, rng, topK)
 }
 

@@ -1,0 +1,141 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// benchmark record on stdout, so benchmark trajectories can be committed
+// and diffed (BENCH_routing.json) and uploaded as CI artifacts.
+//
+// It parses the standard benchmark line format
+//
+//	BenchmarkName-8   123   456789 ns/op   1024 B/op   3 allocs/op
+//
+// plus the goos/goarch/pkg/cpu header lines, and emits
+//
+//	{"goos": ..., "goarch": ..., "cpu": ..., "benchmarks": [
+//	  {"name": ..., "runs": ..., "ns_per_op": ..., "bytes_per_op": ...,
+//	   "allocs_per_op": ...}, ...]}
+//
+// Lines that are not benchmark results (PASS, ok, test logs) are ignored,
+// so the raw `go test` stream can be piped straight through:
+//
+//	go test ./internal/routing/ -run '^$' -bench . -benchmem | benchjson
+//
+// Repeated runs of the same benchmark (-count N) are averaged, with the
+// run count summed, so -count 5 yields one stable row per benchmark.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	Runs        int64   `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+
+	samples int64
+}
+
+type benchFile struct {
+	Goos       string         `json:"goos,omitempty"`
+	Goarch     string         `json:"goarch,omitempty"`
+	Pkg        string         `json:"pkg,omitempty"`
+	CPU        string         `json:"cpu,omitempty"`
+	Benchmarks []*benchResult `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	var out benchFile
+	index := map[string]*benchResult{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			out.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			out.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			out.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			out.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if r := parseBenchLine(line); r != nil {
+				if prev, ok := index[r.Name]; ok {
+					// Average repeated -count runs weighted equally per
+					// line; sum the iteration counts.
+					prev.NsPerOp += r.NsPerOp
+					prev.BytesPerOp += r.BytesPerOp
+					prev.AllocsPerOp += r.AllocsPerOp
+					prev.Runs += r.Runs
+					prev.samples++
+				} else {
+					r.samples = 1
+					index[r.Name] = r
+					out.Benchmarks = append(out.Benchmarks, r)
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range out.Benchmarks {
+		r.NsPerOp /= float64(r.samples)
+		r.BytesPerOp /= float64(r.samples)
+		r.AllocsPerOp /= float64(r.samples)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// parseBenchLine parses one "BenchmarkX-8  N  T ns/op [B B/op] [A allocs/op]"
+// line, returning nil for lines that do not fit the shape (e.g. a test log
+// line that happens to start with "Benchmark").
+func parseBenchLine(line string) *benchResult {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return nil
+	}
+	name := f[0]
+	// Strip the -GOMAXPROCS suffix so rows are comparable across machines.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	runs, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return nil
+	}
+	r := &benchResult{Name: name, Runs: runs}
+	ok := false
+	for i := 2; i+1 < len(f); i += 2 {
+		val, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return nil
+		}
+		switch f[i+1] {
+		case "ns/op":
+			r.NsPerOp, ok = val, true
+		case "B/op":
+			r.BytesPerOp = val
+		case "allocs/op":
+			r.AllocsPerOp = val
+		}
+	}
+	if !ok {
+		return nil
+	}
+	return r
+}

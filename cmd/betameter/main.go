@@ -6,17 +6,26 @@
 // Usage:
 //
 //	betameter [-family DeBruijn] [-dim 2] [-sizes 64,128,256,512]
-//	          [-load 2,4,8] [-trials 2] [-seed 1] [-stats out.json]
+//	          [-load 2,4,8] [-trials 2] [-seed 1] [-shards 0]
+//	          [-stats out.json] [-rate 0.9]
 //	          [-faults "edges:0.05@t100,nodes:8@t500,heal@t900"]
+//	          [-cpuprofile cpu.out] [-memprofile mem.out] [-trace trace.out]
+//
+// -shards runs every simulation sharded across that many goroutines
+// (0 = one per available CPU, 1 = serial). Results are bit-for-bit
+// identical at every shard count; sharding only changes wall-clock time.
 //
 // With -stats, the largest size additionally runs an instrumented open-loop
-// at 90% of its measured β and the statistical snapshot (latency quantiles,
-// queue occupancy, top edge utilization, per-tick series) is written as
-// JSON to the given path ("-" for stdout). With -faults, that open-loop
-// executes the given fault spec mid-run — wires and processors fail (and
-// heal) at the spec'd ticks while traffic flows — and the
+// at -rate times its measured β and the statistical snapshot (latency
+// quantiles, queue occupancy, top edge utilization, per-tick series) is
+// written as JSON to the given path ("-" for stdout). With -faults, that
+// open-loop executes the given fault spec mid-run — wires and processors
+// fail (and heal) at the spec'd ticks while traffic flows — and the
 // delivered/dropped/retried breakdown is printed; combined with -stats the
 // snapshot is the faulted run's.
+//
+// The profiling flags write standard pprof/trace output covering the whole
+// run (go tool pprof / go tool trace).
 package main
 
 import (
@@ -25,11 +34,13 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"repro"
 	"repro/internal/bandwidth"
+	"repro/internal/profiling"
 	"repro/internal/topology"
 )
 
@@ -42,34 +53,67 @@ func main() {
 	load := flag.String("load", "2,4,8", "comma-separated load factors (messages per processor)")
 	trials := flag.Int("trials", 2, "trials per load factor")
 	seed := flag.Int64("seed", 1, "rng seed")
+	shards := flag.Int("shards", 0, "simulator shard count (0 = one per CPU, 1 = serial); results are identical at any value")
 	list := flag.Bool("list", false, "list families and exit")
 	describe := flag.Bool("describe", false, "print a structural summary of each instance")
 	steady := flag.Bool("steady", false, "also measure the open-loop (steady-state) rate")
 	stats := flag.String("stats", "", "write an instrumented open-loop snapshot of the largest size as JSON to this path (- for stdout)")
 	statsTicks := flag.Int("stats-ticks", 400, "open-loop run length for -stats")
+	rate := flag.Float64("rate", 0.9, "drive the -stats open-loop at this fraction of the measured beta (in (0, 1])")
 	topK := flag.Int("topk", 10, "edge-utilization entries in the -stats snapshot")
 	faults := flag.String("faults", "", `fault spec (e.g. "edges:0.05@t100,nodes:8@t500,heal@t900") executed mid-run on the largest size's open-loop`)
+	prof := profiling.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	if *stats != "" && *statsTicks < 8 {
-		log.Fatalf("-stats-ticks must be at least 8, got %d", *statsTicks)
-	}
-	if *faults != "" {
-		if _, err := netemu.ParseFaultSpec(*faults); err != nil {
-			log.Fatal(err)
-		}
-	}
 	if *list {
 		for _, f := range netemu.Families() {
 			fmt.Println(f)
 		}
 		return
 	}
+	// Validate every knob up front: a bad flag should cost one line, not a
+	// panic trace or a run that never terminates.
+	if *statsTicks < 8 {
+		log.Fatalf("-stats-ticks must be at least 8, got %d", *statsTicks)
+	}
+	if *rate <= 0 || *rate > 1 {
+		log.Fatalf("-rate must be in (0, 1], got %v", *rate)
+	}
+	if *trials < 1 {
+		log.Fatalf("-trials must be at least 1, got %d", *trials)
+	}
+	if *shards < 0 {
+		log.Fatalf("-shards must be >= 0 (0 = one per CPU), got %d", *shards)
+	}
+	if *dim < 0 {
+		log.Fatalf("-dim must be non-negative, got %d", *dim)
+	}
+	if *topK < 1 {
+		log.Fatalf("-topk must be at least 1, got %d", *topK)
+	}
+	if *faults != "" {
+		if _, err := netemu.ParseFaultSpec(*faults); err != nil {
+			log.Fatal(err)
+		}
+	}
+	sizeList := parsePositiveInts("-sizes", *sizes)
+	loadList := parsePositiveInts("-load", *load)
 	fam, err := topology.ParseFamily(*familyName)
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := netemu.MeasureOptions{LoadFactors: parseInts(*load), Trials: *trials}
+	nshards := *shards
+	if nshards == 0 {
+		nshards = runtime.GOMAXPROCS(0)
+	}
+
+	stop, err := prof.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stop()
+
+	opts := netemu.MeasureOptions{LoadFactors: loadList, Trials: *trials, Shards: nshards}
 	rng := rand.New(rand.NewSource(*seed))
 
 	var points []bandwidth.SweepPoint
@@ -80,7 +124,7 @@ func main() {
 		header += fmt.Sprintf(" %12s", "steady-beta")
 	}
 	fmt.Println(header)
-	for _, size := range parseInts(*sizes) {
+	for _, size := range sizeList {
 		m := topology.Build(fam, *dim, size, rng)
 		if *describe {
 			info, err := topology.Describe(m, rng)
@@ -95,7 +139,7 @@ func main() {
 		lastMachine, lastBeta = m, meas.Beta
 		line := fmt.Sprintf("%-10d %12.2f %12.2f %12.2f", m.N(), meas.Beta, b.Flux, b.Bisection)
 		if *steady {
-			line += fmt.Sprintf(" %12.2f", bandwidth.SteadyStateBeta(m, 300, 8, rng))
+			line += fmt.Sprintf(" %12.2f", bandwidth.SteadyStateBetaSharded(m, 300, 8, nshards, rng))
 		}
 		fmt.Println(line)
 	}
@@ -107,20 +151,20 @@ func main() {
 		fmt.Printf("paper (Table 4): beta = Θ(%s), λ = Θ(%s)\n", analytic.Beta, analytic.Lambda)
 	}
 	if (*stats != "" || *faults != "") && lastMachine != nil {
-		rate := 0.9 * lastBeta
-		if rate <= 0 {
-			rate = 1
+		olRate := *rate * lastBeta
+		if olRate <= 0 {
+			olRate = 1
 		}
 		var res netemu.OpenLoopResult
 		var snap netemu.Snapshot
 		if *faults != "" {
-			res, snap = netemu.MeasureOpenLoopSnapshotUnderFaults(lastMachine, rate, *statsTicks, *topK, *faults, *seed)
-			fmt.Printf("\nfaults %q on %s at rate %.2f over %d ticks:\n", *faults, lastMachine.Name, rate, *statsTicks)
+			res, snap = netemu.MeasureOpenLoopSnapshotUnderFaultsSharded(lastMachine, olRate, *statsTicks, *topK, nshards, *faults, *seed)
+			fmt.Printf("\nfaults %q on %s at rate %.2f over %d ticks:\n", *faults, lastMachine.Name, olRate, *statsTicks)
 			fmt.Printf("  injected %d  delivered %d  dropped %d  retried %d  backlog %d\n",
 				res.Injected, res.Delivered, res.Dropped, res.Retried, res.Backlog)
-			fmt.Printf("  delivered rate %.2f/tick (fault-free target %.2f)\n", res.Throughput, rate)
+			fmt.Printf("  delivered rate %.2f/tick (fault-free target %.2f)\n", res.Throughput, olRate)
 		} else {
-			_, snap = netemu.MeasureOpenLoopSnapshot(lastMachine, rate, *statsTicks, *topK, *seed)
+			_, snap = netemu.MeasureOpenLoopSnapshotSharded(lastMachine, olRate, *statsTicks, *topK, nshards, *seed)
 		}
 		if *stats != "" {
 			if err := writeSnapshot(*stats, snap); err != nil {
@@ -145,7 +189,10 @@ func writeSnapshot(path string, snap netemu.Snapshot) error {
 	return f.Close()
 }
 
-func parseInts(csv string) []int {
+// parsePositiveInts parses a comma-separated list of positive integers,
+// exiting with a one-line error naming the flag on any malformed or
+// non-positive entry.
+func parsePositiveInts(flagName, csv string) []int {
 	var out []int
 	for _, part := range strings.Split(csv, ",") {
 		part = strings.TrimSpace(part)
@@ -154,12 +201,15 @@ func parseInts(csv string) []int {
 		}
 		v, err := strconv.Atoi(part)
 		if err != nil {
-			log.Fatalf("bad integer %q", part)
+			log.Fatalf("%s: bad integer %q", flagName, part)
+		}
+		if v < 1 {
+			log.Fatalf("%s: entries must be positive, got %d", flagName, v)
 		}
 		out = append(out, v)
 	}
 	if len(out) == 0 {
-		log.Fatal("empty integer list")
+		log.Fatalf("%s: empty integer list", flagName)
 	}
 	return out
 }

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Flag validation is part of the CLI contract: a nonsensical flag must
+// cost the user exactly one error line (exit 1), never a panic trace or a
+// run that spins forever. Black-box test: build the real binary, feed it
+// bad flags, inspect stderr.
+func TestBetameterRejectsBadFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := filepath.Join(t.TempDir(), "betameter")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the single stderr line
+	}{
+		{"zero ticks", []string{"-stats", "-", "-stats-ticks", "0"}, "-stats-ticks"},
+		{"negative ticks", []string{"-stats", "-", "-stats-ticks", "-5"}, "-stats-ticks"},
+		{"rate zero", []string{"-rate", "0"}, "-rate"},
+		{"rate above one", []string{"-rate", "1.5"}, "-rate"},
+		{"negative shards", []string{"-shards", "-2"}, "-shards"},
+		{"zero trials", []string{"-trials", "0"}, "-trials"},
+		{"bad sizes entry", []string{"-sizes", "64,x,256"}, "-sizes"},
+		{"non-positive load", []string{"-load", "0"}, "-load"},
+		{"empty sizes", []string{"-sizes", ","}, "-sizes"},
+		{"malformed faults", []string{"-faults", "edges:banana@t10"}, "fault"},
+		{"unknown family", []string{"-family", "NoSuchNet"}, "family"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stderr bytes.Buffer
+			cmd := exec.Command(bin, tc.args...)
+			cmd.Stderr = &stderr
+			err := cmd.Run()
+			if err == nil {
+				t.Fatalf("args %v: expected nonzero exit", tc.args)
+			}
+			msg := strings.TrimSpace(stderr.String())
+			if msg == "" || strings.Count(msg, "\n") != 0 {
+				t.Fatalf("args %v: want exactly one error line, got %q", tc.args, msg)
+			}
+			if !strings.Contains(msg, tc.want) {
+				t.Fatalf("args %v: error %q does not mention %q", tc.args, msg, tc.want)
+			}
+		})
+	}
+}

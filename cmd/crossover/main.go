@@ -44,6 +44,7 @@ func main() {
 	doPlot := flag.Bool("plot", false, "render an ASCII log-log chart of the two curves")
 	seed := flag.Int64("seed", 1, "rng seed")
 	workers := flag.Int("workers", 0, "concurrent measurement jobs (0 = GOMAXPROCS); output is identical at any value")
+	cacheDir := flag.String("cache", "", "persist β measurements in this directory and reuse them across -measure runs; output is identical with or without it")
 	flag.Parse()
 
 	gf := family(*guestName)
@@ -76,8 +77,16 @@ func main() {
 	// simulator.
 	type measured struct{ slowdown, betaRatio float64 }
 	var rows []*experiment.Future[measured]
+	var cache *experiment.DiskCache
 	if *measure {
 		r := experiment.New(*seed, *workers)
+		if *cacheDir != "" {
+			var err error
+			cache, err = r.AttachDiskCache(*cacheDir)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
 		opts := netemu.MeasureOptions{}
 		guestBeta := r.BetaFuture(gf, *gdim, *gsize, opts)
 		for _, pts := range curve {
@@ -106,6 +115,10 @@ func main() {
 	m, slow := bound.CrossoverPoint(n)
 	fmt.Printf("\ncrossover: |H| ≈ %.0f with slowdown ≈ %.1f\n", m, slow)
 	fmt.Printf("max efficient host (symbolic): %s\n", bound.MaxHostString())
+	if cache != nil {
+		hits, misses := cache.Counts()
+		log.Printf("cache %s: %d hits, %d misses", cache.Dir(), hits, misses)
+	}
 
 	if *doPlot {
 		load := plot.Series{Name: "load n/m", Marker: '*'}

@@ -6,8 +6,14 @@
 //
 //	emusim [-guest DeBruijn] [-gdim 2] [-gsize 256]
 //	       [-host Mesh] [-hdim 2] [-hsize 64]
-//	       [-steps 4] [-duplicity 1] [-circuit] [-seed 1] [-stats out.json]
-//	       [-faults "nodes:3@t2"]
+//	       [-steps 4] [-duplicity 1] [-circuit] [-seed 1] [-shards 0]
+//	       [-stats out.json] [-faults "nodes:3@t2"]
+//	       [-cpuprofile cpu.out] [-memprofile mem.out] [-trace trace.out]
+//
+// -shards runs the host's measurement simulations sharded across that many
+// goroutines (0 = one per available CPU, 1 = serial); results are
+// bit-for-bit identical at every shard count. The profiling flags write
+// standard pprof/trace output covering the whole run.
 //
 // With -faults "nodes:K@tS", K host processors die after guest step S: the
 // guests they simulated are remapped to the nearest surviving hosts and the
@@ -27,8 +33,10 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"runtime"
 
 	"repro"
+	"repro/internal/profiling"
 	"repro/internal/topology"
 )
 
@@ -51,18 +59,35 @@ func main() {
 	statsTicks := flag.Int("stats-ticks", 400, "open-loop run length for -stats")
 	topK := flag.Int("topk", 10, "edge-utilization entries in the -stats snapshot")
 	faults := flag.String("faults", "", `host fault spec "nodes:K@tS": K host processors die after guest step S and their guests are remapped`)
+	shards := flag.Int("shards", 0, "simulator shard count for host measurements (0 = one per CPU, 1 = serial); results are identical at any value")
+	prof := profiling.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	if *stats != "" && *statsTicks < 8 {
+	// Validate every knob up front — including the fault spec, before any
+	// machine is built — so a bad flag costs one line, not a panic trace.
+	if *statsTicks < 8 {
 		log.Fatalf("-stats-ticks must be at least 8, got %d", *statsTicks)
 	}
-	guest := build(*guestName, *gdim, *gsize, *seed)
-	host := build(*hostName, *hdim, *hsize, *seed+1)
-	fmt.Printf("guest: %v\nhost:  %v\n", guest, host)
-
-	var res netemu.EmulationResult
-	switch {
-	case *faults != "":
+	if *steps < 1 {
+		log.Fatalf("-steps must be at least 1, got %d", *steps)
+	}
+	if *gsize < 1 || *hsize < 1 {
+		log.Fatalf("-gsize and -hsize must be positive, got %d and %d", *gsize, *hsize)
+	}
+	if *gdim < 0 || *hdim < 0 {
+		log.Fatalf("-gdim and -hdim must be non-negative, got %d and %d", *gdim, *hdim)
+	}
+	if *duplicity < 1 {
+		log.Fatalf("-duplicity must be at least 1, got %d", *duplicity)
+	}
+	if *topK < 1 {
+		log.Fatalf("-topk must be at least 1, got %d", *topK)
+	}
+	if *shards < 0 {
+		log.Fatalf("-shards must be >= 0 (0 = one per CPU), got %d", *shards)
+	}
+	var faultPlan netemu.FaultPlan
+	if *faults != "" {
 		if *useCircuit || *useMapper || *pipelined {
 			log.Fatal("-faults only supports the direct emulator")
 		}
@@ -76,8 +101,28 @@ func main() {
 		if plan[0].Tick < 1 || plan[0].Tick >= *steps {
 			log.Fatalf("-faults step %d must lie strictly inside the %d-step run", plan[0].Tick, *steps)
 		}
-		deg := netemu.EmulateDegraded(guest, host, *steps, plan[0].Tick, plan[0].Count, *seed)
-		fmt.Printf("\nfault: %d host processors die after guest step %d\n", plan[0].Count, deg.FailStep)
+		faultPlan = plan
+	}
+	nshards := *shards
+	if nshards == 0 {
+		nshards = runtime.GOMAXPROCS(0)
+	}
+
+	stop, err := prof.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stop()
+
+	guest := build(*guestName, *gdim, *gsize, *seed)
+	host := build(*hostName, *hdim, *hsize, *seed+1)
+	fmt.Printf("guest: %v\nhost:  %v\n", guest, host)
+
+	var res netemu.EmulationResult
+	switch {
+	case *faults != "":
+		deg := netemu.EmulateDegraded(guest, host, *steps, faultPlan[0].Tick, faultPlan[0].Count, *seed)
+		fmt.Printf("\nfault: %d host processors die after guest step %d\n", faultPlan[0].Count, deg.FailStep)
 		fmt.Printf("dead hosts:    %v (%d live)\n", deg.DeadHosts, deg.LiveHosts)
 		fmt.Printf("remapped:      %d guest processors\n", deg.Remapped)
 		fmt.Printf("slowdown:      %.2f pre-fault, %.2f post-fault (penalty %.2f)\n",
@@ -111,12 +156,12 @@ func main() {
 		// Run the host at 90% of its measured saturation rate so the
 		// snapshot shows the loaded-but-stable regime the emulation
 		// bound cares about.
-		sat := netemu.MeasureSteadyBeta(host, 200, 6, *seed)
+		sat := netemu.MeasureSteadyBetaSharded(host, 200, 6, nshards, *seed)
 		rate := 0.9 * sat
 		if rate <= 0 {
 			rate = 1
 		}
-		_, snap := netemu.MeasureOpenLoopSnapshot(host, rate, *statsTicks, *topK, *seed)
+		_, snap := netemu.MeasureOpenLoopSnapshotSharded(host, rate, *statsTicks, *topK, nshards, *seed)
 		if err := writeSnapshot(*stats, snap); err != nil {
 			log.Fatal(err)
 		}

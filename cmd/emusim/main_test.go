@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Same contract as betameter's flag-validation test: every nonsensical
+// flag combination exits 1 with exactly one stderr line, before any
+// machine is built or simulation started.
+func TestEmusimRejectsBadFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := filepath.Join(t.TempDir(), "emusim")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"zero steps", []string{"-steps", "0"}, "-steps"},
+		{"negative gsize", []string{"-gsize", "-4"}, "-gsize"},
+		{"zero hsize", []string{"-hsize", "0"}, "-hsize"},
+		{"negative gdim", []string{"-gdim", "-1"}, "-gdim"},
+		{"zero duplicity", []string{"-duplicity", "0"}, "-duplicity"},
+		{"negative shards", []string{"-shards", "-1"}, "-shards"},
+		{"low stats ticks", []string{"-stats", "-", "-stats-ticks", "3"}, "-stats-ticks"},
+		{"malformed faults", []string{"-faults", "nodes:many@t2"}, "fault"},
+		{"edge-fault clause", []string{"-faults", "edges:0.1@t2"}, "nodes:K@tS"},
+		{"fault after run ends", []string{"-faults", "nodes:3@t9", "-steps", "4"}, "-faults"},
+		{"faults with circuit", []string{"-faults", "nodes:3@t2", "-circuit"}, "direct emulator"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stderr bytes.Buffer
+			cmd := exec.Command(bin, tc.args...)
+			cmd.Stderr = &stderr
+			err := cmd.Run()
+			if err == nil {
+				t.Fatalf("args %v: expected nonzero exit", tc.args)
+			}
+			msg := strings.TrimSpace(stderr.String())
+			if msg == "" || strings.Count(msg, "\n") != 0 {
+				t.Fatalf("args %v: want exactly one error line, got %q", tc.args, msg)
+			}
+			if !strings.Contains(msg, tc.want) {
+				t.Fatalf("args %v: error %q does not mention %q", tc.args, msg, tc.want)
+			}
+		})
+	}
+}

@@ -73,16 +73,33 @@ func MeasureBetaUnderFaults(m *Machine, fracs []float64, ticks int, seed int64) 
 	return bandwidth.MeasureBetaUnderFaults(m, fracs, ticks, measure.NewSeedPlan(seed))
 }
 
+// MeasureBetaUnderFaultsSharded is MeasureBetaUnderFaults on a simulator
+// sharded across the given number of goroutines (0 or 1 = serial). The
+// liveness mask shards with the vertex partition; the curve is
+// bit-identical at every shard count.
+func MeasureBetaUnderFaultsSharded(m *Machine, fracs []float64, ticks, shards int, seed int64) []FaultPoint {
+	return bandwidth.MeasureBetaUnderFaultsSharded(m, fracs, ticks, shards, measure.NewSeedPlan(seed))
+}
+
 // MeasureOpenLoopSnapshotUnderFaults is MeasureOpenLoopSnapshot with a
 // fault scenario running mid-measurement: the spec is parsed, materialized
 // against m, and executed while traffic flows. Stranded packets retry with
 // the default FaultOptions; the snapshot carries the dropped/retried
 // counters and the per-tick dropped series.
 func MeasureOpenLoopSnapshotUnderFaults(m *Machine, rate float64, ticks, topK int, spec string, seed int64) (OpenLoopResult, Snapshot) {
+	return MeasureOpenLoopSnapshotUnderFaultsSharded(m, rate, ticks, topK, 1, spec, seed)
+}
+
+// MeasureOpenLoopSnapshotUnderFaultsSharded is
+// MeasureOpenLoopSnapshotUnderFaults on a simulator sharded across the
+// given number of goroutines (0 or 1 = serial); result and snapshot are
+// bit-identical at every shard count.
+func MeasureOpenLoopSnapshotUnderFaultsSharded(m *Machine, rate float64, ticks, topK, shards int, spec string, seed int64) (OpenLoopResult, Snapshot) {
 	plan := MustParseFaultSpec(spec)
 	rng := rand.New(rand.NewSource(seed))
 	sched := plan.Materialize(m, rng)
 	eng := routing.NewEngine(m, routing.Greedy)
+	eng.Shards = shards
 	return eng.OpenLoopFaultsSnapshot(traffic.NewSymmetric(m.N()), rate, ticks, rng, topK, sched, routing.FaultOptions{})
 }
 

@@ -127,25 +127,34 @@ func (p FaultPoint) Retention() float64 {
 // fraction's bit pattern, so the curve is invariant under reordering of
 // fracs and each point is independent of the others.
 func MeasureBetaUnderFaults(m *topology.Machine, fracs []float64, ticks int, plan measure.SeedPlan) []FaultPoint {
+	return MeasureBetaUnderFaultsSharded(m, fracs, ticks, 1, plan)
+}
+
+// MeasureBetaUnderFaultsSharded is MeasureBetaUnderFaults on a sharded
+// simulator (the liveness mask shards with it: dead processors drop their
+// queues shard-locally and the conservation invariant holds globally). The
+// curve is bit-identical at every shard count.
+func MeasureBetaUnderFaultsSharded(m *topology.Machine, fracs []float64, ticks, shards int, plan measure.SeedPlan) []FaultPoint {
 	if ticks < 30 {
 		panic(fmt.Sprintf("bandwidth: %d ticks cannot hold pre-fault, transient, and post-fault windows; use >= 30", ticks))
 	}
 	out := make([]FaultPoint, 0, len(fracs))
 	for _, frac := range fracs {
-		out = append(out, faultPoint(m, frac, ticks, plan))
+		out = append(out, faultPoint(m, frac, ticks, shards, plan))
 	}
 	return out
 }
 
 // faultPoint measures one fraction of a degradation curve on its own
 // plan-derived stream.
-func faultPoint(m *topology.Machine, frac float64, ticks int, plan measure.SeedPlan) FaultPoint {
+func faultPoint(m *topology.Machine, frac float64, ticks, shards int, plan measure.SeedPlan) FaultPoint {
 	rng := plan.RNG(math.Float64bits(frac))
 	dist := traffic.NewSymmetric(m.N())
 
 	// Find the intact machine's saturation rate, then drive the fault run
 	// just below it so the pre-fault window measures a stable β.
 	probe := routing.NewEngine(m, routing.Greedy)
+	probe.Shards = shards
 	sat := probe.SaturationRate(dist, 2*float64(m.Graph.E()), 200, 8, rng)
 	rate := 0.9 * sat
 	if rate <= 0 {
@@ -159,7 +168,9 @@ func faultPoint(m *topology.Machine, frac float64, ticks int, plan measure.SeedP
 	// A fresh engine for the fault run: an engine with faults enabled
 	// belongs to its sim.
 	eng := routing.NewEngine(m, routing.Greedy)
+	eng.Shards = shards
 	s := eng.NewSim(rng)
+	defer s.Close()
 	s.SetFaults(sched, routing.FaultOptions{})
 
 	warmup := failTick / 3

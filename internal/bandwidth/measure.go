@@ -24,6 +24,11 @@ type MeasureOptions struct {
 	// Strategy for the router. Default Greedy (shortest-path with random
 	// tie-breaks), which achieves the Θ-level rates on all these machines.
 	Strategy routing.Strategy
+	// Shards is the intra-sim shard count for the routing simulator; 0 or 1
+	// runs serial. Purely a throughput knob: the simulator's determinism
+	// contract makes the measured values bit-identical at every shard
+	// count, which is why cache layers exclude Shards from their keys.
+	Shards int
 }
 
 // Canonical returns the options with every default filled in, so two
@@ -76,6 +81,7 @@ func MeasureBeta(m *topology.Machine, dist traffic.Distribution, opts MeasureOpt
 	opts = opts.withDefaults()
 	plan := measure.NewSeedPlan(rng.Int63())
 	eng := routing.NewEngine(m, opts.Strategy)
+	eng.Shards = opts.Shards
 	out := Measurement{Machine: m, Dist: dist.Name(), RateByLoad: make(map[int]float64)}
 	type point struct{ x, y float64 } // batch size, ticks — one per trial
 	var pts []point

@@ -17,8 +17,16 @@ import (
 // ticks is the run length per trial rate (300–500 works), iters the
 // bisection depth (8–12).
 func SteadyStateBeta(m *topology.Machine, ticks, iters int, rng *rand.Rand) float64 {
+	return SteadyStateBetaSharded(m, ticks, iters, 1, rng)
+}
+
+// SteadyStateBetaSharded is SteadyStateBeta on a sharded simulator: the
+// vertex set is split across the given number of goroutines per tick. The
+// returned value is bit-identical at every shard count.
+func SteadyStateBetaSharded(m *topology.Machine, ticks, iters, shards int, rng *rand.Rand) float64 {
 	dist := traffic.NewSymmetric(m.N())
 	eng := routing.NewEngine(m, routing.Greedy)
+	eng.Shards = shards
 	// The flux bound caps the search window.
 	upper := UpperBounds(m, 2, rng).Flux * 1.5
 	if upper < 2 {

@@ -29,9 +29,22 @@ func betaKey(f topology.Family, dim, size int, opts bandwidth.MeasureOptions) st
 		f, dim, size, opts.LoadFactors, opts.Trials, opts.Strategy)
 }
 
+// betaEntry is the serializable part of a Measurement — what the disk
+// cache stores. The Machine itself is rebuilt on the keyed stream on a hit,
+// so hit and miss paths return identical Measurements.
+type betaEntry struct {
+	Dist       string          `json:"dist"`
+	Beta       float64         `json:"beta"`
+	RateByLoad map[int]float64 `json:"rate_by_load"`
+}
+
 // BetaFuture returns the (possibly already running) memoized measurement of
 // the symmetric β of the Build-identified machine. The first call per key
-// submits the job; later calls share its future.
+// submits the job; later calls share its future. With a disk cache
+// attached, the job consults it before running the simulator. Shards is
+// deliberately absent from the key (in-memory and on disk): the sharded
+// simulator's determinism contract makes the measured value identical at
+// every shard count.
 func (r *Runner) BetaFuture(f topology.Family, dim, size int, opts bandwidth.MeasureOptions) *Future[bandwidth.Measurement] {
 	opts = opts.Canonical()
 	key := betaKey(f, dim, size, opts)
@@ -40,7 +53,17 @@ func (r *Runner) BetaFuture(f topology.Family, dim, size int, opts bandwidth.Mea
 	}
 	fut := newFuture(r, key, func(rng *rand.Rand) bandwidth.Measurement {
 		m := topology.Build(f, dim, size, rng)
-		return bandwidth.MeasureSymmetricBeta(m, opts, rng)
+		if r.disk != nil {
+			var e betaEntry
+			if r.disk.load(r.diskKey(key), &e) {
+				return bandwidth.Measurement{Machine: m, Dist: e.Dist, Beta: e.Beta, RateByLoad: e.RateByLoad}
+			}
+		}
+		meas := bandwidth.MeasureSymmetricBeta(m, opts, rng)
+		if r.disk != nil {
+			r.disk.store(r.diskKey(key), betaEntry{Dist: meas.Dist, Beta: meas.Beta, RateByLoad: meas.RateByLoad})
+		}
+		return meas
 	})
 	if actual, loaded := r.beta.LoadOrStore(key, fut); loaded {
 		return actual.(*Future[bandwidth.Measurement])
@@ -55,16 +78,27 @@ func (r *Runner) Beta(f topology.Family, dim, size int, opts bandwidth.MeasureOp
 }
 
 // LambdaFuture returns the memoized λ ingredients of the Build-identified
-// machine.
+// machine. With a disk cache attached, the job consults it before
+// measuring.
 func (r *Runner) LambdaFuture(f topology.Family, dim, size int) *Future[Lambda] {
 	key := fmt.Sprintf("lambda/%v/%d/%d", f, dim, size)
 	if v, ok := r.lambda.Load(key); ok {
 		return v.(*Future[Lambda])
 	}
 	fut := newFuture(r, key, func(rng *rand.Rand) Lambda {
+		if r.disk != nil {
+			var l Lambda
+			if r.disk.load(r.diskKey(key), &l) {
+				return l
+			}
+		}
 		m := topology.Build(f, dim, size, rng)
 		diam, avg := bandwidth.MeasureLambda(m, rng)
-		return Lambda{Diameter: diam, AvgDist: avg}
+		out := Lambda{Diameter: diam, AvgDist: avg}
+		if r.disk != nil {
+			r.disk.store(r.diskKey(key), out)
+		}
+		return out
 	})
 	if actual, loaded := r.lambda.LoadOrStore(key, fut); loaded {
 		return actual.(*Future[Lambda])

@@ -27,10 +27,12 @@ import (
 // not usable; construct with New.
 type Runner struct {
 	plan    measure.SeedPlan
+	seed    int64
 	workers int
 	sem     chan struct{}
 	beta    sync.Map // string -> *Future[bandwidth.Measurement]
 	lambda  sync.Map // string -> *Future[Lambda]
+	disk    *DiskCache
 	jobs    atomic.Int64
 }
 
@@ -42,6 +44,7 @@ func New(seed int64, workers int) *Runner {
 	}
 	return &Runner{
 		plan:    measure.NewSeedPlan(seed),
+		seed:    seed,
 		workers: workers,
 		sem:     make(chan struct{}, workers),
 	}

@@ -1,0 +1,106 @@
+// Package profiling wires the standard pprof/trace collectors into the
+// repo's CLIs with three flags and one Stop call. Every binary that runs
+// simulations registers the flags next to its own:
+//
+//	prof := profiling.RegisterFlags(flag.CommandLine)
+//	flag.Parse()
+//	stop, err := prof.Start()
+//	if err != nil { log.Fatal(err) }
+//	defer stop()
+//
+// The flags are -cpuprofile, -memprofile, and -trace, each naming an output
+// file (empty = off). CPU profiling and execution tracing run for the whole
+// process; the heap profile is written at Stop after a final GC, so it
+// reflects live steady-state allocations. Analyze with the usual tools:
+//
+//	go tool pprof <binary> cpu.out
+//	go tool trace trace.out
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Config holds the destinations parsed from the flags.
+type Config struct {
+	CPUProfile string
+	MemProfile string
+	Trace      string
+}
+
+// RegisterFlags registers -cpuprofile, -memprofile, and -trace on fs and
+// returns the Config they populate.
+func RegisterFlags(fs *flag.FlagSet) *Config {
+	c := &Config{}
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a CPU profile to `file`")
+	fs.StringVar(&c.MemProfile, "memprofile", "", "write a heap profile to `file` on exit")
+	fs.StringVar(&c.Trace, "trace", "", "write an execution trace to `file`")
+	return c
+}
+
+// Start begins every collector the config names and returns a stop function
+// that flushes and closes them. Call stop exactly once (a deferred call is
+// fine); it must run before the process exits or the profiles are invalid.
+// A config with no destinations returns a no-op stop.
+func (c *Config) Start() (stop func(), err error) {
+	var stops []func()
+	fail := func(err error) (func(), error) {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+		return nil, err
+	}
+	if c.CPUProfile != "" {
+		f, err := os.Create(c.CPUProfile)
+		if err != nil {
+			return fail(fmt.Errorf("profiling: %w", err))
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(fmt.Errorf("profiling: start cpu profile: %w", err))
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if c.Trace != "" {
+		f, err := os.Create(c.Trace)
+		if err != nil {
+			return fail(fmt.Errorf("profiling: %w", err))
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			return fail(fmt.Errorf("profiling: start trace: %w", err))
+		}
+		stops = append(stops, func() {
+			trace.Stop()
+			f.Close()
+		})
+	}
+	if c.MemProfile != "" {
+		path := c.MemProfile
+		stops = append(stops, func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: write heap profile: %v\n", err)
+			}
+		})
+	}
+	return func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}, nil
+}

@@ -36,6 +36,13 @@ type Options struct {
 	// Workers caps concurrent leaf jobs; < 1 means GOMAXPROCS. The value
 	// changes wall-clock only, never the output.
 	Workers int
+	// Cache, when non-nil, persists β/λ measurements on disk and serves
+	// repeat runs from it (open one with experiment.OpenDiskCache).
+	// Entries are keyed by measurement identity, seed, and measurement
+	// version, and the hit path replays each machine construction on its
+	// keyed stream, so the output stays byte-identical with the cache
+	// cold, warm, or absent.
+	Cache *experiment.DiskCache
 }
 
 // section is one report chapter: a stable identity (the key prefix of all
@@ -63,6 +70,9 @@ var sections = []section{
 // changing a byte.
 func Generate(w io.Writer, o Options) error {
 	r := experiment.New(o.Seed, o.Workers)
+	if o.Cache != nil {
+		r.UseDiskCache(o.Cache)
+	}
 	futs := make([]*experiment.Future[string], len(sections))
 	for i, s := range sections {
 		s := s

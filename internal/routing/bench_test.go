@@ -1,6 +1,7 @@
 package routing
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -64,6 +65,45 @@ func BenchmarkSimStepFarthestFirst(b *testing.B) {
 			b.StartTimer()
 		}
 		s.Step()
+	}
+}
+
+// BenchmarkSimStepSharded is the scaling curve behind BENCH_routing.json:
+// Step on a dim-16 weak hypercube (65536 vertices, analytic distance
+// oracle, no BFS tables) under a standing load, at 1/2/4/8 shards. The
+// serial (shards=1) sub-benchmark is the baseline; on an 8-core machine
+// the 8-shard run should be ≥3× faster. scripts/bench_routing.sh runs
+// this and records the numbers.
+func BenchmarkSimStepSharded(b *testing.B) {
+	m := topology.WeakHypercube(16)
+	dist := traffic.NewSymmetric(m.N())
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			e := NewEngine(m, Greedy)
+			rng := rand.New(rand.NewSource(1))
+			s := e.NewShardedSim(rng, shards)
+			defer s.Close()
+			s.Inject(traffic.Batch(dist, 4*m.N(), rng))
+			// Long warmup: queue and mailbox backing arrays must reach
+			// their steady-state capacities before measuring, or the
+			// rows record transient append growth.
+			for i := 0; i < 64; i++ {
+				if s.InFlight() < m.N() {
+					s.Inject(traffic.Batch(dist, m.N(), rng))
+				}
+				s.Step()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if s.InFlight() < m.N() {
+					b.StopTimer()
+					s.Inject(traffic.Batch(dist, m.N(), rng))
+					b.StartTimer()
+				}
+				s.Step()
+			}
+		})
 	}
 }
 

@@ -17,11 +17,18 @@
 // intermediate vertex. On the machines considered this meets the
 // O(congestion + dilation) bound of the universal routing scheme the paper
 // cites, which is all the Θ-level measurements need.
+//
+// The simulator can run sharded: the vertex set is partitioned across k
+// goroutines that exchange boundary packets through per-shard mailboxes
+// with a barrier per tick. Results are bit-for-bit identical to the serial
+// run at every shard count (see shard.go and DESIGN.md for the contract).
 package routing
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
+	"sync/atomic"
 
 	"repro/internal/topology"
 	"repro/internal/traffic"
@@ -81,8 +88,27 @@ type Engine struct {
 	Strategy   Strategy
 	Discipline Discipline
 
-	distTo map[int][]int // destination -> BFS distance field
-	nbrs   [][]neighbor  // sorted adjacency, for deterministic rng use
+	// Shards is the shard count NewSim uses: the vertex set is partitioned
+	// across this many goroutines per tick. 0 or 1 means serial. The
+	// determinism contract guarantees identical results at every value, so
+	// this is purely a throughput knob.
+	Shards int
+
+	// distPtrs caches per-destination BFS distance fields. Lazily filled
+	// with atomic publication so concurrent shards can warm it without
+	// locks: a racing recompute produces the identical field (BFS is
+	// deterministic) and the last store wins.
+	distPtrs []atomic.Pointer[[]int]
+
+	// oracle, when non-nil, computes exact graph distance analytically
+	// (hypercube popcount, mesh/torus coordinate distance), replacing the
+	// O(N) BFS fields whose all-destination warmup is O(N^2) memory — the
+	// difference between a dim-16 hypercube being simulable or not. Only
+	// installed when the machine's geometry provably matches its graph;
+	// faulted routing always falls back to masked BFS fields.
+	oracle func(u, v int) int
+
+	nbrs [][]neighbor // sorted adjacency, for deterministic iteration
 
 	// live is nil until EnableFaults: liveness-aware routing (masked
 	// distance fields, dead-wire skipping) costs the fault-free hot path
@@ -103,7 +129,7 @@ type neighbor struct {
 
 // NewEngine returns an engine for m using the given strategy.
 func NewEngine(m *topology.Machine, strategy Strategy) *Engine {
-	e := &Engine{M: m, Strategy: strategy, distTo: make(map[int][]int)}
+	e := &Engine{M: m, Strategy: strategy}
 	g := m.Graph
 	e.nbrs = make([][]neighbor, g.N())
 	e.edgeBase = make([]int32, g.N()+1)
@@ -115,7 +141,67 @@ func NewEngine(m *topology.Machine, strategy Strategy) *Engine {
 		e.numEdges += len(e.nbrs[u])
 	}
 	e.edgeBase[g.N()] = int32(e.numEdges)
+	e.distPtrs = make([]atomic.Pointer[[]int], g.N())
+	e.oracle = analyticDistance(m)
 	return e
+}
+
+// analyticDistance returns an exact closed-form distance function for
+// machines whose geometry determines their graph, or nil. The guards are
+// conservative: the vertex count, processor count, and total edge
+// multiplicity must all match the pristine construction, so degraded clones
+// (deleted wires or processors, cleared geometry) never get an oracle.
+func analyticDistance(m *topology.Machine) func(u, v int) int {
+	n := m.Graph.N()
+	if m.Procs != n {
+		return nil
+	}
+	switch m.Family {
+	case topology.WeakHypercubeFamily:
+		order := m.Side
+		if order < 1 || n != 1<<uint(order) || m.Graph.E() != int64(n)*int64(order)/2 {
+			return nil
+		}
+		return func(u, v int) int { return bits.OnesCount(uint(u ^ v)) }
+	case topology.MeshFamily, topology.TorusFamily:
+		dim, side := m.Dim, m.Side
+		if dim < 1 || side < 2 {
+			return nil
+		}
+		size := 1
+		for d := 0; d < dim; d++ {
+			size *= side
+		}
+		if size != n {
+			return nil
+		}
+		wrap := m.Family == topology.TorusFamily
+		wantE := int64(dim) * int64(n) // torus: one +1 edge per vertex per dim
+		if !wrap {
+			wantE = int64(dim) * int64(n/side) * int64(side-1)
+		}
+		if m.Graph.E() != wantE {
+			return nil
+		}
+		return func(u, v int) int {
+			d := 0
+			for k := 0; k < dim; k++ {
+				cu, cv := u%side, v%side
+				u /= side
+				v /= side
+				delta := cu - cv
+				if delta < 0 {
+					delta = -delta
+				}
+				if wrap && side-delta < delta {
+					delta = side - delta
+				}
+				d += delta
+			}
+			return d
+		}
+	}
+	return nil
 }
 
 // edgeEnds recovers the (from, to) vertices of a directed edge id.
@@ -133,16 +219,29 @@ func (e *Engine) edgeEnds(id int32) (int, int) {
 	return lo, e.nbrs[lo][id-e.edgeBase[lo]].v
 }
 
+// dist returns the BFS distance field to dst, computing and caching it on
+// first use. Safe for concurrent shards: publication is atomic and a racing
+// duplicate compute yields the identical deterministic field.
 func (e *Engine) dist(dst int) []int {
 	if e.live != nil {
 		return e.liveDist(dst)
 	}
-	if d, ok := e.distTo[dst]; ok {
-		return d
+	if p := e.distPtrs[dst].Load(); p != nil {
+		return *p
 	}
 	d := e.M.Graph.BFS(dst)
-	e.distTo[dst] = d
+	e.distPtrs[dst].Store(&d)
 	return d
+}
+
+// distance returns the current routing distance from u to dst: the analytic
+// oracle on pristine geometric machines, the (possibly fault-masked) BFS
+// field otherwise. Under faults, -1 means unreachable.
+func (e *Engine) distance(u, dst int) int {
+	if e.oracle != nil && e.live == nil {
+		return e.oracle(u, dst)
+	}
+	return e.dist(dst)[u]
 }
 
 // Stats reports the outcome of routing one batch.
@@ -170,6 +269,7 @@ func (e *Engine) Route(batch []traffic.Message, rng *rand.Rand) Stats {
 		return Stats{}
 	}
 	s := e.NewSim(rng)
+	defer s.Close()
 	s.Inject(batch)
 	limit := 200*len(batch) + 100*e.M.Graph.N() + 1000
 	for s.InFlight() > 0 {
@@ -189,16 +289,37 @@ func (e *Engine) Route(batch []traffic.Message, rng *rand.Rand) Stats {
 }
 
 // pickHop chooses a neighbour of u one step closer to dst whose wire still
-// has capacity this tick, uniformly among the available choices. It returns
-// the chosen vertex and its directed-edge id, or (-1, -1) if all downhill
-// wires are saturated. edgeUsed is indexed by edge id (see edgeBase).
-func (e *Engine) pickHop(u, dst int, edgeUsed []int32, rng *rand.Rand) (int, int32) {
-	d := e.dist(dst)
+// has capacity this tick, uniformly among the available choices using u's
+// per-tick decision stream. It returns the chosen vertex and its
+// directed-edge id, or (-1, -1) if all downhill wires are saturated.
+// edgeUsed is indexed by edge id (see edgeBase); only edges out of u are
+// read or written, which is what makes concurrent shards safe.
+func (e *Engine) pickHop(u, dst int, edgeUsed []int32, vr *vrand) (int, int32) {
 	base := e.edgeBase[u]
-	du := d[u] - 1
 	best := -1
 	var bestEdge int32 = -1
 	count := 0
+	if oracle := e.oracle; oracle != nil && e.live == nil {
+		du := oracle(u, dst) - 1
+		for k, nb := range e.nbrs[u] {
+			if oracle(nb.v, dst) != du {
+				continue
+			}
+			id := base + int32(k)
+			if int64(edgeUsed[id]) >= nb.mult {
+				continue
+			}
+			// Reservoir-sample uniformly among available downhill neighbours.
+			count++
+			if vr.intn(count) == 0 {
+				best = nb.v
+				bestEdge = id
+			}
+		}
+		return best, bestEdge
+	}
+	d := e.dist(dst)
+	du := d[u] - 1
 	lv := e.live
 	for k, nb := range e.nbrs[u] {
 		if d[nb.v] != du {
@@ -211,9 +332,8 @@ func (e *Engine) pickHop(u, dst int, edgeUsed []int32, rng *rand.Rand) (int, int
 		if int64(edgeUsed[id]) >= nb.mult {
 			continue
 		}
-		// Reservoir-sample uniformly among available downhill neighbours.
 		count++
-		if rng.Intn(count) == 0 {
+		if vr.intn(count) == 0 {
 			best = nb.v
 			bestEdge = id
 		}

@@ -118,6 +118,34 @@ func (h *Histogram) Quantile(p float64) int {
 	return h.max
 }
 
+// Reset clears the histogram for reuse, keeping the backing array.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total, h.sum, h.max = 0, 0, 0
+}
+
+// Merge adds every sample of o into h. Bucket counts add exactly, so a
+// merge of per-shard histograms is identical to one histogram fed all the
+// samples — the property the sharded Sim relies on, and merge order never
+// matters.
+func (h *Histogram) Merge(o *Histogram) {
+	if len(o.counts) > len(h.counts) {
+		grown := make([]int64, len(o.counts))
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	for b, c := range o.counts {
+		h.counts[b] += c
+	}
+	h.total += o.total
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
 // HistBucket is one non-empty bucket of an exported histogram.
 type HistBucket struct {
 	// Low and High are the inclusive value range of the bucket.

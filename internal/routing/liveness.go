@@ -2,6 +2,7 @@ package routing
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/topology"
 )
@@ -30,7 +31,11 @@ import (
 type liveState struct {
 	edgeDown []bool // per directed edge id
 	nodeDown []bool // per vertex
-	distTo   map[int][]int
+	// distPtrs caches masked distance fields with atomic publication, the
+	// same scheme as Engine.distPtrs: shards may warm it concurrently, a
+	// racing recompute is identical, and ApplyFaultEvent (driver context,
+	// between phases) swaps in a fresh array to invalidate.
+	distPtrs     []atomic.Pointer[[]int]
 	downDirEdges int
 	downNodes    int
 }
@@ -43,7 +48,7 @@ func (e *Engine) EnableFaults() {
 		e.live = &liveState{
 			edgeDown: make([]bool, e.numEdges),
 			nodeDown: make([]bool, len(e.nbrs)),
-			distTo:   make(map[int][]int),
+			distPtrs: make([]atomic.Pointer[[]int], len(e.nbrs)),
 		}
 	}
 }
@@ -118,15 +123,15 @@ func (e *Engine) ApplyFaultEvent(ev topology.FaultEvent) {
 			lv.downNodes++
 		}
 	}
-	lv.distTo = make(map[int][]int)
+	lv.distPtrs = make([]atomic.Pointer[[]int], len(e.nbrs))
 }
 
 // liveDist returns the BFS distance field to dst over the live subgraph:
 // masked wires and vertices do not exist, unreachable vertices get -1.
 func (e *Engine) liveDist(dst int) []int {
 	lv := e.live
-	if d, ok := lv.distTo[dst]; ok {
-		return d
+	if p := lv.distPtrs[dst].Load(); p != nil {
+		return *p
 	}
 	n := len(e.nbrs)
 	d := make([]int, n)
@@ -150,7 +155,7 @@ func (e *Engine) liveDist(dst int) []int {
 			}
 		}
 	}
-	lv.distTo[dst] = d
+	lv.distPtrs[dst].Store(&d)
 	return d
 }
 
@@ -232,34 +237,36 @@ func (s *Sim) applyFaultEvents() {
 // their intermediate are retargeted at their destination instead.
 func (s *Sim) reapDeadPackets() {
 	lv := s.eng.live
-	for _, u := range s.active {
-		q := s.queues[u]
-		if len(q) == 0 {
-			continue
-		}
-		if lv.nodeDown[u] {
-			// A dead processor loses its queue wholesale.
-			s.dropped += len(q)
-			s.droppedTick += len(q)
-			s.queues[u] = q[:0]
-			continue
-		}
-		kept := q[:0]
-		for _, p := range q {
-			if lv.nodeDown[p.finalDst] {
-				s.dropped++
-				s.droppedTick++
+	for _, sh := range s.shards {
+		for _, u := range sh.active {
+			q := s.queues[u]
+			if len(q) == 0 {
 				continue
 			}
-			if p.phase1 && lv.nodeDown[p.dst] {
-				// The Valiant intermediate died; head straight for the
-				// destination.
-				p.phase1 = false
-				p.dst = p.finalDst
+			if lv.nodeDown[u] {
+				// A dead processor loses its queue wholesale.
+				s.dropped += len(q)
+				s.droppedTick += len(q)
+				s.queues[u] = q[:0]
+				continue
 			}
-			kept = append(kept, p)
+			kept := q[:0]
+			for _, p := range q {
+				if lv.nodeDown[p.finalDst] {
+					s.dropped++
+					s.droppedTick++
+					continue
+				}
+				if p.phase1 && lv.nodeDown[p.dst] {
+					// The Valiant intermediate died; head straight for the
+					// destination.
+					p.phase1 = false
+					p.dst = p.finalDst
+				}
+				kept = append(kept, p)
+			}
+			s.queues[u] = kept
 		}
-		s.queues[u] = kept
 	}
 }
 

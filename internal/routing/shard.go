@@ -1,0 +1,307 @@
+package routing
+
+import "slices"
+
+// Intra-sim sharding. The vertex set is partitioned across shards; each
+// tick runs two barrier-separated phases:
+//
+//	move:   every shard serves its own vertices' queues (edge capacity,
+//	        service discipline, fault retry logic) and posts each moved
+//	        packet to the mailbox outbox[destination shard].
+//	arrive: every shard merges its inbound mailboxes and applies the
+//	        arrivals to its own queues (or counts deliveries).
+//
+// Safety rests on ownership: queues[u], inActive[u], and the edge slots of
+// edges *out of* u (edgeUsed, stats.edgeTotals) are touched only by u's
+// owning shard, and phase barriers separate mailbox writes from reads.
+//
+// Determinism rests on two rules. First, randomness is positional: every
+// hop decision draws from a (tick, vertex)-keyed stream (vrand.go), so no
+// shard's choices depend on any other's schedule. Second, arrival order is
+// canonical: the move phase serves vertices in ascending id order, so each
+// mailbox is sender-sorted, and the arrive phase k-way-merges its inboxes
+// by sender id — reproducing exactly the order a serial sweep in ascending
+// vertex order would have produced, at every shard count and partition.
+
+// arrival is one packet crossing the move->arrive barrier, tagged with the
+// vertex that forwarded it so the merge can restore canonical order.
+type arrival struct {
+	sender int32
+	p      simPacket
+}
+
+// simShard owns a subset of the vertices. All mutable state below is
+// private to the shard's phase functions except the outboxes (written in
+// move, read by every shard in arrive) and the cumulative histograms
+// (merged by the driver between ticks).
+type simShard struct {
+	id    int
+	owned int // number of vertices assigned to this shard
+
+	active   []int   // owned vertices with queued packets
+	touched  []int32 // edge-usage slots dirtied this tick
+	sortKeys []int   // FarthestFirst scratch
+
+	outbox [][]arrival // per destination shard, refilled every move phase
+	heads  []int       // arrive-phase merge cursors, one per source shard
+
+	// Cumulative per-shard statistics, merged on demand.
+	latHist  Histogram // delivery latencies of packets delivered here
+	queueOcc Histogram // queue lengths sampled each tick (stats runs only)
+	maxQueue int
+
+	// Per-tick deltas, folded into the Sim's global counters by Step after
+	// the arrive barrier and then reset.
+	tickDelivered int
+	tickDropped   int
+	tickRetried   int
+	tickHops      int64
+	tickLatency   int64
+}
+
+func newSimShard(id, shards, owned int) *simShard {
+	return &simShard{
+		id:     id,
+		owned:  owned,
+		outbox: make([][]arrival, shards),
+		heads:  make([]int, shards),
+	}
+}
+
+// move serves every active owned vertex in ascending id order: clears the
+// previous tick's edge usage, applies the service discipline and per-wire
+// capacity, and posts moved packets to the destination shard's mailbox.
+func (sh *simShard) move(s *Sim) {
+	for _, id := range sh.touched {
+		s.edgeUsed[id] = 0
+	}
+	sh.touched = sh.touched[:0]
+	for i := range sh.outbox {
+		sh.outbox[i] = sh.outbox[i][:0]
+	}
+	// Canonical service order: ascending vertex id. Fairness across ticks
+	// comes from the positional randomness of the hop choices, not from
+	// shuffling the service order.
+	slices.Sort(sh.active)
+	eng := s.eng
+	fs := s.faults
+	stats := s.stats
+	for _, u := range sh.active {
+		q := s.queues[u]
+		if len(q) > sh.maxQueue {
+			sh.maxQueue = len(q)
+		}
+		vr := s.vertexRand(u)
+		if eng.Discipline == FarthestFirst && len(q) > 1 {
+			sh.sortFarthestFirst(s, u, q)
+		}
+		capLeft := eng.M.Cap(u)
+		kept := q[:0]
+		for qi, p := range q {
+			if capLeft == 0 {
+				// Vertex transmission budget spent; everything else waits.
+				kept = append(kept, q[qi:]...)
+				break
+			}
+			if fs != nil {
+				if p.sleepUntil > s.now {
+					kept = append(kept, p) // backing off
+					continue
+				}
+				if s.now-p.born > fs.opts.TTL {
+					sh.tickDropped++
+					continue
+				}
+			}
+			h, edge := eng.pickHop(u, p.dst, s.edgeUsed, &vr)
+			if h < 0 {
+				if fs != nil && eng.distance(u, p.dst) < 0 {
+					// Stranded: no live path to the current target.
+					if p.phase1 {
+						// The Valiant intermediate became unreachable; try
+						// the final destination directly.
+						p.phase1 = false
+						p.dst = p.finalDst
+						kept = append(kept, p)
+						continue
+					}
+					p.retries++
+					sh.tickRetried++
+					if int(p.retries) > fs.opts.RetryBudget {
+						sh.tickDropped++
+						continue
+					}
+					p.sleepUntil = s.now + backoffTicks(fs.opts.BackoffBase, p.retries)
+					kept = append(kept, p)
+					continue
+				}
+				// All downhill wires saturated this tick; wait in place.
+				kept = append(kept, p)
+				continue
+			}
+			if s.edgeUsed[edge] == 0 {
+				sh.touched = append(sh.touched, edge)
+			}
+			s.edgeUsed[edge]++
+			if stats != nil {
+				stats.edgeTotals[edge]++
+			}
+			if capLeft > 0 {
+				capLeft--
+			}
+			p.at = h
+			sh.tickHops++
+			dst := s.shardOf[h]
+			sh.outbox[dst] = append(sh.outbox[dst], arrival{sender: int32(u), p: p})
+		}
+		s.queues[u] = kept
+	}
+	// Drop drained vertices from the active list.
+	na := sh.active[:0]
+	for _, u := range sh.active {
+		if len(s.queues[u]) > 0 {
+			na = append(na, u)
+		} else {
+			s.inActive[u] = false
+		}
+	}
+	sh.active = na
+}
+
+// arrive merges this shard's inbound mailboxes by ascending sender id and
+// applies each arrival: delivery (or Valiant phase switch) when the packet
+// reached its target, a queue push otherwise. Each mailbox is already
+// sender-sorted (move serves vertices in ascending order), so a k-way merge
+// restores the canonical global order.
+func (sh *simShard) arrive(s *Sim) {
+	shards := s.shards
+	heads := sh.heads
+	for i := range heads {
+		heads[i] = 0
+	}
+	for {
+		src := -1
+		var bestSender int32
+		for i := range shards {
+			ob := shards[i].outbox[sh.id]
+			if heads[i] < len(ob) && (src < 0 || ob[heads[i]].sender < bestSender) {
+				src = i
+				bestSender = ob[heads[i]].sender
+			}
+		}
+		if src < 0 {
+			break
+		}
+		// A sender's packets sit consecutively in exactly one mailbox;
+		// consume the whole run before rescanning.
+		ob := shards[src].outbox[sh.id]
+		h := heads[src]
+		for h < len(ob) && ob[h].sender == bestSender {
+			sh.handleArrival(s, ob[h].p)
+			h++
+		}
+		heads[src] = h
+	}
+	if s.stats != nil {
+		sh.sampleQueues(s)
+	}
+}
+
+func (sh *simShard) handleArrival(s *Sim, p simPacket) {
+	if p.at == p.dst {
+		if p.phase1 {
+			// Reached the Valiant intermediate; phase 2 starts next tick.
+			p.phase1 = false
+			p.dst = p.finalDst
+			s.push(p)
+			return
+		}
+		sh.tickDelivered++
+		lat := s.now - p.born
+		sh.tickLatency += int64(lat)
+		sh.latHist.Record(lat)
+		return
+	}
+	s.push(p)
+}
+
+// sampleQueues records one queue-occupancy sample per owned vertex: the
+// queue length for active vertices, zero for the rest.
+func (sh *simShard) sampleQueues(s *Sim) {
+	for _, u := range sh.active {
+		sh.queueOcc.Record(len(s.queues[u]))
+	}
+	for i := len(sh.active); i < sh.owned; i++ {
+		sh.queueOcc.Record(0)
+	}
+}
+
+// sortFarthestFirst stably sorts q by descending remaining distance
+// (insertion sort on a parallel key slice — queues are short and mostly
+// sorted from the previous tick).
+func (sh *simShard) sortFarthestFirst(s *Sim, u int, q []simPacket) {
+	keys := sh.sortKeys[:0]
+	for _, p := range q {
+		keys = append(keys, s.eng.distance(u, p.dst))
+	}
+	for i := 1; i < len(q); i++ {
+		p, k := q[i], keys[i]
+		j := i - 1
+		for j >= 0 && keys[j] < k {
+			q[j+1], keys[j+1] = q[j], keys[j]
+			j--
+		}
+		q[j+1], keys[j+1] = p, k
+	}
+	sh.sortKeys = keys
+}
+
+// Worker plumbing: shards beyond the first get a long-lived goroutine fed
+// phase commands over a channel, so the steady-state tick loop spawns
+// nothing. Shard 0 always runs inline on the driver.
+
+const (
+	phaseMove = iota
+	phaseArrive
+)
+
+type shardWorker struct {
+	cmd  chan int
+	done chan struct{}
+}
+
+func (s *Sim) startWorkers() {
+	s.workers = make([]*shardWorker, len(s.shards)-1)
+	for i := range s.workers {
+		w := &shardWorker{cmd: make(chan int), done: make(chan struct{})}
+		s.workers[i] = w
+		sh := s.shards[i+1]
+		go func() {
+			for ph := range w.cmd {
+				s.execPhase(sh, ph)
+				w.done <- struct{}{}
+			}
+		}()
+	}
+}
+
+// runPhase fans one phase out to every shard and waits for all of them:
+// the per-tick barrier. The channel synchronization orders each shard's
+// move-phase mailbox writes before every other shard's arrive-phase reads.
+func (s *Sim) runPhase(ph int) {
+	for _, w := range s.workers {
+		w.cmd <- ph
+	}
+	s.execPhase(s.shards[0], ph)
+	for _, w := range s.workers {
+		<-w.done
+	}
+}
+
+func (s *Sim) execPhase(sh *simShard, ph int) {
+	if ph == phaseMove {
+		sh.move(s)
+	} else {
+		sh.arrive(s)
+	}
+}

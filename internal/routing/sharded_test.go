@@ -1,0 +1,233 @@
+package routing
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// The sharding determinism contract (ISSUE acceptance): a sim partitioned
+// across any number of shards — and under any partition shape — produces
+// results bit-for-bit identical to the serial sim. These tests drive every
+// Table 4 machine through instrumented open loops, with and without a
+// fault schedule, and compare both the OpenLoopResult and the full
+// snapshot JSON byte-for-byte.
+
+var equivalenceFaultSpec = topology.MustParseFaultSpec("edges:0.15@t20,nodes:2@t40,heal@t60")
+
+// shardedRun drives one instrumented open loop on a fresh engine at the
+// given shard count and returns the result plus the snapshot JSON.
+func shardedRun(t *testing.T, m *topology.Machine, shards int, faults bool) (OpenLoopResult, []byte) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	e := NewEngine(m, Greedy)
+	e.Shards = shards
+	dist := traffic.NewSymmetric(m.N())
+	var res OpenLoopResult
+	var snap Snapshot
+	if faults {
+		sched := equivalenceFaultSpec.Materialize(m, rng)
+		res, snap = e.OpenLoopFaultsSnapshot(dist, 3, 80, rng, 8, sched, FaultOptions{})
+	} else {
+		res, snap = e.OpenLoopSnapshot(dist, 3, 80, rng, 8)
+	}
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return res, buf.Bytes()
+}
+
+// ISSUE acceptance: sharded and serial sims produce identical
+// OpenLoopResult and snapshot JSON on all Table 4 machines at shard counts
+// 1, 2, 4, 7, with and without a fault schedule.
+func TestShardedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, m := range table4Machines(rng) {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			for _, faults := range []bool{false, true} {
+				wantRes, wantSnap := shardedRun(t, m, 1, faults)
+				if faults && wantRes.Dropped == 0 && wantRes.Retried == 0 {
+					// Still a valid equivalence check, but flag machines
+					// where the schedule had no effect at all.
+					t.Logf("%s: fault schedule caused no drops/retries", m.Name)
+				}
+				for _, shards := range []int{2, 4, 7} {
+					gotRes, gotSnap := shardedRun(t, m, shards, faults)
+					if gotRes != wantRes {
+						t.Errorf("faults=%v shards=%d: OpenLoopResult diverged\nserial:  %+v\nsharded: %+v",
+							faults, shards, wantRes, gotRes)
+					}
+					if !bytes.Equal(gotSnap, wantSnap) {
+						t.Errorf("faults=%v shards=%d: snapshot JSON diverged from serial", faults, shards)
+					}
+				}
+			}
+		})
+	}
+}
+
+// The partition shape must be as irrelevant as the shard count: a BFS
+// partition assigns completely different vertex sets to each worker than
+// the contiguous default, and the results must still match serial bytes.
+func TestShardedEquivalenceBFSPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	machines := []*topology.Machine{
+		topology.Mesh(2, 6),
+		topology.Butterfly(3),
+		topology.Expander(24, 4, rng),
+	}
+	drive := func(s *Sim, m *topology.Machine) []byte {
+		defer s.Close()
+		s.EnableStats()
+		dist := traffic.NewSymmetric(m.N())
+		for tick := 0; tick < 60; tick++ {
+			s.InjectSampled(dist, 3)
+			s.Step()
+		}
+		snap := s.Snapshot(8)
+		var buf bytes.Buffer
+		if err := snap.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	for _, m := range machines {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			eSerial := NewEngine(m, Greedy)
+			want := drive(eSerial.NewSim(rand.New(rand.NewSource(5))), m)
+			for _, k := range []int{2, 3, 5} {
+				assign := topology.BFSPartition(m.Graph, k)
+				ePart := NewEngine(m, Greedy)
+				got := drive(ePart.NewPartitionedSim(rand.New(rand.NewSource(5)), assign), m)
+				if !bytes.Equal(got, want) {
+					t.Errorf("BFS partition k=%d diverged from serial", k)
+				}
+			}
+		})
+	}
+}
+
+// ISSUE acceptance: the fault-free sharded steady state stays within the
+// per-shard allocation budget (0.1 allocs per tick per shard). The phase
+// barriers reuse long-lived workers and channels, mailboxes and touched
+// lists reuse their backing arrays, and the per-(tick, vertex) randomness
+// lives on the stack, so nothing in the tick loop allocates.
+func TestShardedStepSteadyStateAllocs(t *testing.T) {
+	for _, shards := range []int{2, 4} {
+		m := topology.Mesh(2, 10)
+		e := NewEngine(m, Greedy)
+		rng := rand.New(rand.NewSource(3))
+		s := e.NewShardedSim(rng, shards)
+		defer s.Close()
+		dist := traffic.NewSymmetric(m.N())
+		s.Inject(traffic.Batch(dist, 16*m.N(), rng))
+		for i := 0; i < 50; i++ {
+			s.Step()
+		}
+		avg := testing.AllocsPerRun(100, func() { s.Step() })
+		if budget := 0.1 * float64(shards); avg > budget {
+			t.Errorf("sharded Step (k=%d) allocates %.2f objects/tick at steady state, budget %.1f", shards, avg, budget)
+		}
+	}
+}
+
+// The analytic distance oracle must agree with BFS exactly on every
+// machine it is installed for, and must never be installed on a machine
+// whose graph no longer matches its geometry.
+func TestAnalyticDistanceMatchesBFS(t *testing.T) {
+	oracleMachines := []*topology.Machine{
+		topology.WeakHypercube(4),
+		topology.StrongHypercube(5),
+		topology.Mesh(2, 5),
+		topology.Mesh(3, 3),
+		topology.Torus(2, 5),
+		topology.Torus(3, 3),
+	}
+	for _, m := range oracleMachines {
+		e := NewEngine(m, Greedy)
+		if e.oracle == nil {
+			t.Errorf("%s: no analytic distance oracle installed", m.Name)
+			continue
+		}
+		n := m.Graph.N()
+		for dst := 0; dst < n; dst++ {
+			d := m.Graph.BFS(dst)
+			for u := 0; u < n; u++ {
+				if got := e.oracle(u, dst); got != d[u] {
+					t.Fatalf("%s: oracle(%d,%d) = %d, BFS says %d", m.Name, u, dst, got, d[u])
+				}
+			}
+		}
+	}
+	// Degraded clones must fall back to BFS fields: the guards compare
+	// edge counts against the pristine construction.
+	rng := rand.New(rand.NewSource(2))
+	degraded := topology.DeleteRandomEdges(topology.Mesh(2, 5), 0.2, rng)
+	if e := NewEngine(degraded, Greedy); e.oracle != nil {
+		t.Errorf("%s: degraded machine received an analytic oracle", degraded.Name)
+	}
+	// Machines with hub vertices or non-processor vertices must not match.
+	for _, m := range []*topology.Machine{topology.GlobalBus(8), topology.MeshOfTrees(2, 4)} {
+		if e := NewEngine(m, Greedy); e.oracle != nil {
+			t.Errorf("%s: unexpected analytic oracle", m.Name)
+		}
+	}
+}
+
+// NewShardedSim clamps nonsense shard counts instead of crashing, and
+// Close is idempotent while leaving counters readable.
+func TestShardedSimLifecycle(t *testing.T) {
+	m := topology.Mesh(2, 4)
+	e := NewEngine(m, Greedy)
+	s := e.NewShardedSim(rand.New(rand.NewSource(1)), 999)
+	if got := s.ShardCount(); got != m.Graph.N() {
+		t.Errorf("shard count %d, want clamp to %d vertices", got, m.Graph.N())
+	}
+	s.Inject([]traffic.Message{{Src: 0, Dst: 15}})
+	for s.InFlight() > 0 {
+		s.Step()
+	}
+	delivered := s.Delivered()
+	s.Close()
+	s.Close() // idempotent
+	if s.Delivered() != delivered {
+		t.Errorf("counters changed across Close")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Step after Close did not panic")
+		}
+	}()
+	s.Step()
+}
+
+// BFSPartition must produce balanced, complete partitions, and on a ring
+// its connected regions cut far fewer edges than a round-robin assignment
+// would.
+func TestBFSPartitionShape(t *testing.T) {
+	m := topology.Ring(30)
+	for _, k := range []int{1, 2, 3, 7} {
+		assign := topology.BFSPartition(m.Graph, k)
+		counts := make(map[int]int)
+		for _, sh := range assign {
+			counts[sh]++
+		}
+		if len(counts) != k {
+			t.Fatalf("k=%d: %d regions", k, len(counts))
+		}
+		for sh, c := range counts {
+			if c < 30/k || c > 30/k+1 {
+				t.Errorf("k=%d: region %d has %d vertices", k, sh, c)
+			}
+		}
+	}
+	if cut := topology.PartitionCutEdges(m.Graph, topology.BFSPartition(m.Graph, 3)); cut != 3 {
+		t.Errorf("ring cut by 3 BFS regions crosses %d edges, want 3", cut)
+	}
+}

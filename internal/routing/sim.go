@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/measure"
 	"repro/internal/topology"
 	"repro/internal/traffic"
 )
@@ -14,38 +15,53 @@ import (
 //
 // The inner loop is allocation-free at steady state: per-tick wire usage
 // lives in a flat array cleared through a touched-list, per-vertex queues
-// reuse their backing arrays, and delivery latencies stream into a bucketed
-// histogram instead of an ever-growing slice (see TestStepSteadyStateAllocs
-// for the enforced budget).
+// and mailboxes reuse their backing arrays, and delivery latencies stream
+// into bucketed histograms (see TestStepSteadyStateAllocs and
+// TestShardedStepSteadyStateAllocs for the enforced budgets).
+//
+// A Sim always runs as one or more shards (shard.go): the vertex set is
+// partitioned, each shard advances its own queues, and boundary packets
+// cross shards through per-(source, destination)-shard mailboxes under a
+// barrier per tick. Every random decision is keyed by (tick, vertex), never
+// drawn from a shared stream, so the results are bit-for-bit identical at
+// every shard count and under every partition; the serial simulator is
+// simply the one-shard instance run inline.
 type Sim struct {
 	eng *Engine
-	rng *rand.Rand
+	rng *rand.Rand // injection-side stream: sampling and Valiant intermediates
 
-	queues   [][]simPacket
-	active   []int
-	inActive []bool
-	edgeUsed []int32 // per directed edge id, usage this tick
-	touched  []int32 // edge ids with non-zero usage this tick
-	arrivals []simPacket
-	sortKeys []int          // FarthestFirst scratch: remaining distances
-	shuffle  func(i, j int) // active-list swap, hoisted to avoid per-tick closures
+	// planState roots the per-(tick, vertex) decision streams; vertexRand
+	// derives them exactly as measure.SeedPlan.Fork(tick, vertex) would.
+	planState uint64
+
+	shards  []*simShard
+	workers []*shardWorker // len(shards)-1 long-lived goroutines; nil when serial
+	shardOf []int32        // vertex id -> owning shard
+
+	queues   [][]simPacket // per vertex; touched only by the owning shard
+	inActive []bool        // per vertex; touched only by the owning shard
+	edgeUsed []int32       // per directed edge id, usage this tick (owner-shard writes)
 
 	now int // current tick
 
-	// Counters.
+	// Global counters. Shard phases accumulate per-tick deltas which Step
+	// folds in after the barrier, so between Steps these are authoritative.
 	injected     int
 	delivered    int
 	dropped      int // lost to faults: dead endpoints, spent retries, TTL
 	retried      int // stranded-packet retry events
 	totalHops    int64
 	latencySum   int64
-	latHist      Histogram
 	maxQueue     int
 	injectedTick int // injections since the last Step, for the stats series
-	droppedTick  int // drops since the last stats capture
+	droppedTick  int // driver-context drops (dead-endpoint injection, reaping)
+
+	latMerged   Histogram // lazily merged view of the shard latency histograms
+	latMergedAt int       // delivered count the merge is valid for; -1 = dirty
 
 	stats  *statsRec   // nil unless EnableStats was called
 	faults *faultState // nil unless SetFaults was called
+	closed bool
 }
 
 type simPacket struct {
@@ -55,19 +71,109 @@ type simPacket struct {
 	sleepUntil int   // tick before which a backed-off packet is not served
 }
 
-// NewSim returns a fresh simulation on the engine's machine.
+// NewSim returns a fresh simulation on the engine's machine, sharded
+// e.Shards ways (serial when e.Shards <= 1). Call Close when done with a
+// sharded sim to release its worker goroutines.
 func (e *Engine) NewSim(rng *rand.Rand) *Sim {
+	return e.NewShardedSim(rng, e.Shards)
+}
+
+// NewShardedSim returns a simulation whose vertex set is partitioned into
+// the given number of contiguous-id shards, each advanced by its own
+// goroutine per tick. shards is clamped to [1, vertices]. Results are
+// bit-for-bit identical to the serial sim at every shard count; see
+// DESIGN.md for the determinism contract. Call Close when done.
+func (e *Engine) NewShardedSim(rng *rand.Rand, shards int) *Sim {
+	n := e.M.Graph.N()
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > n {
+		shards = n
+	}
+	assign := make([]int, n)
+	for i := 0; i < shards; i++ {
+		for v := i * n / shards; v < (i+1)*n/shards; v++ {
+			assign[v] = i
+		}
+	}
+	return e.newSim(rng, shards, assign)
+}
+
+// NewPartitionedSim is NewShardedSim with an explicit vertex->shard
+// assignment (for cut-minimizing partitions, e.g. topology.BFSPartition).
+// assign must map every vertex to a shard in [0, max(assign)]; the shard
+// count is max(assign)+1. The partition affects only which goroutine
+// advances which vertex — never the results.
+func (e *Engine) NewPartitionedSim(rng *rand.Rand, assign []int) *Sim {
+	n := e.M.Graph.N()
+	if len(assign) != n {
+		panic(fmt.Sprintf("routing: partition over %d vertices on machine of %d", len(assign), n))
+	}
+	shards := 0
+	for v, sh := range assign {
+		if sh < 0 {
+			panic(fmt.Sprintf("routing: vertex %d assigned to negative shard %d", v, sh))
+		}
+		if sh+1 > shards {
+			shards = sh + 1
+		}
+	}
+	return e.newSim(rng, shards, assign)
+}
+
+func (e *Engine) newSim(rng *rand.Rand, shards int, assign []int) *Sim {
 	n := e.M.Graph.N()
 	s := &Sim{
-		eng:      e,
-		rng:      rng,
-		queues:   make([][]simPacket, n),
-		inActive: make([]bool, n),
-		edgeUsed: make([]int32, e.numEdges),
-		touched:  make([]int32, 0, 64),
+		eng:         e,
+		rng:         rng,
+		planState:   uint64(measure.NewSeedPlan(rng.Int63()).Seed()),
+		queues:      make([][]simPacket, n),
+		inActive:    make([]bool, n),
+		edgeUsed:    make([]int32, e.numEdges),
+		shardOf:     make([]int32, n),
+		latMergedAt: -1,
 	}
-	s.shuffle = func(i, j int) { s.active[i], s.active[j] = s.active[j], s.active[i] }
+	owned := make([]int, shards)
+	for v, sh := range assign {
+		s.shardOf[v] = int32(sh)
+		owned[sh]++
+	}
+	s.shards = make([]*simShard, shards)
+	for i := range s.shards {
+		s.shards[i] = newSimShard(i, shards, owned[i])
+	}
+	if shards > 1 {
+		s.startWorkers()
+	}
 	return s
+}
+
+// ShardCount returns the number of shards the sim runs on.
+func (s *Sim) ShardCount() int { return len(s.shards) }
+
+// Close releases the sim's worker goroutines. It is idempotent; only
+// Step panics afterwards, counters and Snapshot stay readable. Serial sims
+// have no workers, but closing them is harmless.
+func (s *Sim) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, w := range s.workers {
+		close(w.cmd)
+	}
+}
+
+// vertexRand derives vertex u's decision stream for the current tick:
+// exactly the stream measure.SeedPlan.Fork(tick, vertex) addresses, inlined
+// so the hot path stays free of variadic calls. Keying by (tick, vertex) —
+// never by shard — is what makes results independent of the shard count.
+func (s *Sim) vertexRand(u int) vrand {
+	st := s.planState
+	st = mix64(st + 0x9e3779b97f4a7c15 + mix64(uint64(s.now)))
+	st = mix64(st + 0x9e3779b97f4a7c15 + mix64(uint64(u)))
+	return vrand{state: st}
 }
 
 // Now returns the current tick.
@@ -101,16 +207,34 @@ func (s *Sim) MaxQueue() int { return s.maxQueue }
 // Latencies stream into a bucketed histogram, so the answer is exact below
 // 256 ticks and within one bucket width (<1% relative) above.
 func (s *Sim) LatencyPercentile(p float64) int {
-	return s.latHist.Quantile(p)
+	return s.latencyHist().Quantile(p)
 }
 
-// LatencyHistogram exposes the streaming delivery-latency histogram.
-func (s *Sim) LatencyHistogram() *Histogram { return &s.latHist }
+// LatencyHistogram exposes the streaming delivery-latency histogram (a
+// merged view across shards; treat it as read-only).
+func (s *Sim) LatencyHistogram() *Histogram { return s.latencyHist() }
+
+// latencyHist returns the delivery-latency histogram merged across shards,
+// rebuilt only when deliveries happened since the last merge.
+func (s *Sim) latencyHist() *Histogram {
+	if len(s.shards) == 1 {
+		return &s.shards[0].latHist
+	}
+	if s.latMergedAt != s.delivered {
+		s.latMerged.Reset()
+		for _, sh := range s.shards {
+			s.latMerged.Merge(&sh.latHist)
+		}
+		s.latMergedAt = s.delivered
+	}
+	return &s.latMerged
+}
 
 func (s *Sim) push(p simPacket) {
 	if len(s.queues[p.at]) == 0 && !s.inActive[p.at] {
 		s.inActive[p.at] = true
-		s.active = append(s.active, p.at)
+		sh := s.shards[s.shardOf[p.at]]
+		sh.active = append(sh.active, p.at)
 	}
 	s.queues[p.at] = append(s.queues[p.at], p)
 }
@@ -163,143 +287,56 @@ func (s *Sim) InjectSampled(dist traffic.Distribution, k int) {
 }
 
 // Step advances the machine one tick and returns the number of messages
-// delivered during it.
+// delivered during it. A tick runs in two barrier-separated phases — move
+// (each shard serves its queues and posts moved packets to mailboxes) and
+// arrive (each shard merges its inbound mailboxes in sender order and
+// applies deliveries) — then folds the shards' per-tick deltas into the
+// global counters.
 func (s *Sim) Step() int {
+	if s.closed {
+		panic("routing: Step on a closed Sim")
+	}
 	s.now++
 	injectedThisTick := s.injectedTick
 	s.injectedTick = 0
-	fs := s.faults
-	if fs != nil {
+	if s.faults != nil {
 		s.applyFaultEvents()
 	}
-	for _, id := range s.touched {
-		s.edgeUsed[id] = 0
-	}
-	s.touched = s.touched[:0]
-	s.arrivals = s.arrivals[:0]
-	s.rng.Shuffle(len(s.active), s.shuffle)
-	for _, u := range s.active {
-		q := s.queues[u]
-		if len(q) > s.maxQueue {
-			s.maxQueue = len(q)
-		}
-		if s.eng.Discipline == FarthestFirst && len(q) > 1 {
-			s.sortFarthestFirst(u, q)
-		}
-		capLeft := s.eng.M.Cap(u)
-		kept := q[:0]
-		for qi, p := range q {
-			if capLeft == 0 {
-				kept = append(kept, q[qi:]...)
-				break
-			}
-			if fs != nil {
-				if p.sleepUntil > s.now {
-					kept = append(kept, p)
-					continue
-				}
-				if s.now-p.born > fs.opts.TTL {
-					s.dropped++
-					s.droppedTick++
-					continue
-				}
-			}
-			h, edge := s.eng.pickHop(u, p.dst, s.edgeUsed, s.rng)
-			if h < 0 {
-				if fs != nil && s.eng.dist(p.dst)[u] < 0 {
-					// Stranded: no live path to the target at all (as
-					// opposed to every downhill wire being busy this tick).
-					if p.phase1 {
-						// Only the Valiant intermediate is unreachable;
-						// head straight for the destination instead.
-						p.phase1 = false
-						p.dst = p.finalDst
-						kept = append(kept, p)
-						continue
-					}
-					p.retries++
-					s.retried++
-					if int(p.retries) > fs.opts.RetryBudget {
-						s.dropped++
-						s.droppedTick++
-						continue
-					}
-					p.sleepUntil = s.now + backoffTicks(fs.opts.BackoffBase, p.retries)
-					kept = append(kept, p)
-					continue
-				}
-				kept = append(kept, p)
-				continue
-			}
-			if s.edgeUsed[edge] == 0 {
-				s.touched = append(s.touched, edge)
-			}
-			s.edgeUsed[edge]++
-			if s.stats != nil {
-				s.stats.edgeTotals[edge]++
-			}
-			if capLeft > 0 {
-				capLeft--
-			}
-			p.at = h
-			s.totalHops++
-			s.arrivals = append(s.arrivals, p)
-		}
-		s.queues[u] = kept
-	}
-	na := s.active[:0]
-	for _, u := range s.active {
-		if len(s.queues[u]) > 0 {
-			na = append(na, u)
-		} else {
-			s.inActive[u] = false
-		}
-	}
-	s.active = na
-	deliveredNow := 0
-	for _, p := range s.arrivals {
-		if p.at == p.dst {
-			if p.phase1 {
-				p.phase1 = false
-				p.dst = p.finalDst
-				s.push(p)
-				continue
-			}
-			s.delivered++
-			lat := s.now - p.born
-			s.latencySum += int64(lat)
-			s.latHist.Record(lat)
-			deliveredNow++
-			continue
-		}
-		s.push(p)
-	}
-	droppedThisTick := s.droppedTick
+	droppedPreStep := s.droppedTick // injection-time and reaping drops
 	s.droppedTick = 0
-	if s.stats != nil {
-		s.stats.observeTick(s, injectedThisTick, deliveredNow, droppedThisTick)
+
+	if s.workers == nil {
+		sh := s.shards[0]
+		sh.move(s)
+		sh.arrive(s)
+	} else {
+		s.runPhase(phaseMove)
+		s.runPhase(phaseArrive)
+	}
+
+	deliveredNow := 0
+	droppedNow := 0
+	for _, sh := range s.shards {
+		deliveredNow += sh.tickDelivered
+		droppedNow += sh.tickDropped
+		s.retried += sh.tickRetried
+		s.totalHops += sh.tickHops
+		s.latencySum += sh.tickLatency
+		if sh.maxQueue > s.maxQueue {
+			s.maxQueue = sh.maxQueue
+		}
+		sh.tickDelivered, sh.tickDropped, sh.tickRetried = 0, 0, 0
+		sh.tickHops, sh.tickLatency = 0, 0
+	}
+	s.delivered += deliveredNow
+	s.dropped += droppedNow
+
+	if r := s.stats; r != nil {
+		r.injectedSeries = append(r.injectedSeries, injectedThisTick)
+		r.deliveredSeries = append(r.deliveredSeries, deliveredNow)
+		r.droppedSeries = append(r.droppedSeries, droppedPreStep+droppedNow)
 	}
 	return deliveredNow
-}
-
-// sortFarthestFirst stably sorts q (in place) by remaining distance to the
-// current target, descending — an insertion sort over a scratch key array,
-// so the hot path stays closure- and allocation-free.
-func (s *Sim) sortFarthestFirst(u int, q []simPacket) {
-	keys := s.sortKeys[:0]
-	for _, p := range q {
-		keys = append(keys, s.eng.dist(p.dst)[u])
-	}
-	s.sortKeys = keys
-	for i := 1; i < len(q); i++ {
-		k, p := keys[i], q[i]
-		j := i - 1
-		for j >= 0 && keys[j] < k {
-			keys[j+1], q[j+1] = keys[j], q[j]
-			j--
-		}
-		keys[j+1], q[j+1] = k, p
-	}
 }
 
 // OpenLoopResult reports a steady-state run at a fixed injection rate.
@@ -324,7 +361,8 @@ type OpenLoopResult struct {
 // the achieved steady-state throughput. The first quarter of the run is
 // treated as warm-up and excluded from the throughput/latency window.
 func (e *Engine) OpenLoop(dist traffic.Distribution, rate float64, ticks int, rng *rand.Rand) OpenLoopResult {
-	res, _ := e.openLoop(dist, rate, ticks, rng, nil)
+	res, s := e.openLoop(dist, rate, ticks, rng, nil)
+	s.Close()
 	return res
 }
 
@@ -334,6 +372,7 @@ func (e *Engine) OpenLoop(dist traffic.Distribution, rate float64, ticks int, rn
 // edge list; <= 0 means 10.
 func (e *Engine) OpenLoopSnapshot(dist traffic.Distribution, rate float64, ticks int, rng *rand.Rand, topK int) (OpenLoopResult, Snapshot) {
 	s := e.NewSim(rng)
+	defer s.Close()
 	s.EnableStats()
 	res, _ := e.openLoop(dist, rate, ticks, rng, s)
 	return res, s.Snapshot(topK)
@@ -345,6 +384,7 @@ func (e *Engine) OpenLoopSnapshot(dist traffic.Distribution, rate float64, ticks
 // snapshot carry the dropped/retried counters.
 func (e *Engine) OpenLoopFaultsSnapshot(dist traffic.Distribution, rate float64, ticks int, rng *rand.Rand, topK int, sched *topology.FaultSchedule, opts FaultOptions) (OpenLoopResult, Snapshot) {
 	s := e.NewSim(rng)
+	defer s.Close()
 	s.EnableStats()
 	s.SetFaults(sched, opts)
 	res, _ := e.openLoop(dist, rate, ticks, rng, s)

@@ -14,31 +14,16 @@ type statsRec struct {
 	injectedSeries  []int
 	deliveredSeries []int
 	droppedSeries   []int
-	queueOcc        Histogram // queue length per vertex, sampled every tick
-	edgeTotals      []int64   // cumulative traversals per directed edge id
+	edgeTotals      []int64 // cumulative traversals per directed edge id
 }
 
 // EnableStats turns on per-tick instrumentation: injected/delivered series,
-// a queue-occupancy histogram sampled every tick, and cumulative per-edge
-// traversal counts. Call before the first Step; Snapshot reads it back.
+// a queue-occupancy histogram sampled every tick (held per shard, merged by
+// Snapshot), and cumulative per-edge traversal counts. Call before the
+// first Step; Snapshot reads it back.
 func (s *Sim) EnableStats() {
 	if s.stats == nil {
 		s.stats = &statsRec{edgeTotals: make([]int64, s.eng.numEdges)}
-	}
-}
-
-// observeTick records the per-tick series and samples queue occupancy.
-func (r *statsRec) observeTick(s *Sim, injected, delivered, dropped int) {
-	r.injectedSeries = append(r.injectedSeries, injected)
-	r.deliveredSeries = append(r.deliveredSeries, delivered)
-	r.droppedSeries = append(r.droppedSeries, dropped)
-	occupied := 0
-	for _, u := range s.active {
-		r.queueOcc.Record(len(s.queues[u]))
-		occupied++
-	}
-	for i := occupied; i < len(s.queues); i++ {
-		r.queueOcc.Record(0)
 	}
 }
 
@@ -112,11 +97,16 @@ func (s *Sim) Snapshot(topK int) Snapshot {
 		MaxQueue:      s.maxQueue,
 		MeanLatency:   s.MeanLatency(),
 	}
+	lat := s.latencyHist()
 	for _, p := range snapshotQuantiles {
-		sn.LatencyQuantiles = append(sn.LatencyQuantiles, QuantilePoint{P: p, Ticks: s.latHist.Quantile(p)})
+		sn.LatencyQuantiles = append(sn.LatencyQuantiles, QuantilePoint{P: p, Ticks: lat.Quantile(p)})
 	}
 	if r := s.stats; r != nil {
-		sn.QueueOccupancy = r.queueOcc.Buckets()
+		var occ Histogram
+		for _, sh := range s.shards {
+			occ.Merge(&sh.queueOcc)
+		}
+		sn.QueueOccupancy = occ.Buckets()
 		sn.InjectedSeries = r.injectedSeries
 		sn.DeliveredSeries = r.deliveredSeries
 		sn.DroppedSeries = r.droppedSeries

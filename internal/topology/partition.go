@@ -1,0 +1,102 @@
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/multigraph"
+)
+
+// Vertex partitioners for the sharded routing simulator. The default shard
+// layout is contiguous id ranges, which is already locality-friendly on the
+// repo's machines (hypercube labels, row-major meshes, level-major
+// butterflies all place id-adjacent vertices graph-adjacent). BFSPartition
+// is the alternative for irregular graphs: it grows shards as connected
+// BFS regions, which empirically cuts the boundary (cross-shard) edge count
+// on expander-augmented machines. Partitioning only decides which worker
+// advances which vertex — the simulator's determinism contract makes the
+// results identical under every partition.
+
+// BFSPartition splits g's vertices into k connected-ish regions of size
+// floor/ceil(n/k) by breadth-first growth: each region starts at the
+// lowest-id unassigned vertex and absorbs unassigned neighbours in BFS
+// order until it reaches its quota. The result maps vertex -> region in
+// [0, k); k is clamped to [1, n]. Deterministic for a given graph.
+func BFSPartition(g *multigraph.Multigraph, k int) []int {
+	n := g.N()
+	if n == 0 {
+		panic("topology: BFSPartition on empty graph")
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	queue := make([]int, 0, n)
+	assigned := 0
+	next := 0 // lowest unassigned vertex cursor
+	for region := 0; region < k; region++ {
+		// Spread the remainder over the first regions: ceil for the first
+		// n%k regions, floor after.
+		quota := n / k
+		if region < n%k {
+			quota++
+		}
+		size := 0
+		queue = queue[:0]
+		for size < quota {
+			if len(queue) == 0 {
+				for next < n && assign[next] >= 0 {
+					next++
+				}
+				if next == n {
+					break
+				}
+				assign[next] = region
+				assigned++
+				size++
+				queue = append(queue, next)
+				continue
+			}
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.Neighbors(u) { // sorted: deterministic growth
+				if size == quota {
+					break
+				}
+				if assign[v] < 0 {
+					assign[v] = region
+					assigned++
+					size++
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	if assigned != n {
+		panic(fmt.Sprintf("topology: BFSPartition assigned %d of %d vertices", assigned, n))
+	}
+	return assign
+}
+
+// PartitionCutEdges counts the distinct undirected edges of g whose
+// endpoints land in different parts of assign — the boundary traffic a
+// sharded simulator pays for. Used to compare partitioners.
+func PartitionCutEdges(g *multigraph.Multigraph, assign []int) int {
+	if len(assign) != g.N() {
+		panic(fmt.Sprintf("topology: partition over %d vertices on graph of %d", len(assign), g.N()))
+	}
+	cut := 0
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v && assign[u] != assign[v] {
+				cut++
+			}
+		}
+	}
+	return cut
+}
