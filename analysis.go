@@ -51,8 +51,17 @@ type Measurement = bandwidth.Measurement
 // MeasureBeta measures β(M) operationally: batches of all-pairs messages
 // are routed on the packet simulator and the saturated delivery rate is
 // fitted. This is the paper's functional definition of bandwidth.
+//
+// Deprecated: use Run with a RunBeta spec; this is its one-line wrapper.
 func MeasureBeta(m *Machine, opts MeasureOptions, seed int64) Measurement {
-	return bandwidth.MeasureSymmetricBeta(m, opts, rand.New(rand.NewSource(seed)))
+	return *mustRun(m, betaSpec(opts, seed)).Measurement
+}
+
+// betaSpec translates legacy MeasureOptions into the RunBeta spec fields.
+func betaSpec(opts MeasureOptions, seed int64) RunSpec {
+	opts = opts.Canonical()
+	return RunSpec{Kind: RunBeta, LoadFactors: opts.LoadFactors, Trials: opts.Trials,
+		Strategy: opts.Strategy.String(), Shards: opts.Shards, Seed: seed}
 }
 
 // GraphBeta estimates β via Theorem 6's graph form E(T)/C(M,T) with
@@ -119,16 +128,20 @@ func WriteTable4(w io.Writer, k int) error { return core.WriteTable4(w, k) }
 // MeasureSteadyBeta estimates β by open-loop saturation search: continuous
 // injection with bisection on the rate until queues stay bounded. Slower
 // but tail-free compared to MeasureBeta.
+//
+// Deprecated: use Run with a RunSteadyBeta spec.
 func MeasureSteadyBeta(m *Machine, ticks, iters int, seed int64) float64 {
-	return bandwidth.SteadyStateBeta(m, ticks, iters, rand.New(rand.NewSource(seed)))
+	return MeasureSteadyBetaSharded(m, ticks, iters, 1, seed)
 }
 
 // MeasureSteadyBetaSharded is MeasureSteadyBeta on a simulator sharded
 // across the given number of goroutines (0 or 1 = serial). The value is
 // bit-identical at every shard count; sharding only buys wall-clock time on
 // large machines.
+//
+// Deprecated: use Run with a RunSteadyBeta spec and Shards set.
 func MeasureSteadyBetaSharded(m *Machine, ticks, iters, shards int, seed int64) float64 {
-	return bandwidth.SteadyStateBetaSharded(m, ticks, iters, shards, rand.New(rand.NewSource(seed)))
+	return mustRun(m, RunSpec{Kind: RunSteadyBeta, Ticks: ticks, Iters: iters, Shards: shards, Seed: seed}).Beta
 }
 
 // OpenLoopResult reports a steady-state open-loop run: throughput, mean
@@ -137,6 +150,8 @@ type OpenLoopResult = routing.OpenLoopResult
 
 // MeasureOpenLoop injects all-pairs traffic at the given rate for the
 // given ticks and reports the steady-state behaviour.
+//
+// Deprecated: use Run with a RunOpenLoop spec.
 func MeasureOpenLoop(m *Machine, rate float64, ticks int, seed int64) OpenLoopResult {
 	return MeasureOpenLoopSharded(m, rate, ticks, 1, seed)
 }
@@ -144,11 +159,10 @@ func MeasureOpenLoop(m *Machine, rate float64, ticks int, seed int64) OpenLoopRe
 // MeasureOpenLoopSharded is MeasureOpenLoop on a simulator sharded across
 // the given number of goroutines (0 or 1 = serial); the result is
 // bit-identical at every shard count.
+//
+// Deprecated: use Run with a RunOpenLoop spec and Shards set.
 func MeasureOpenLoopSharded(m *Machine, rate float64, ticks, shards int, seed int64) OpenLoopResult {
-	rng := rand.New(rand.NewSource(seed))
-	eng := routing.NewEngine(m, routing.Greedy)
-	eng.Shards = shards
-	return eng.OpenLoop(traffic.NewSymmetric(m.N()), rate, ticks, rng)
+	return *mustRun(m, RunSpec{Kind: RunOpenLoop, Rate: rate, Ticks: ticks, Shards: shards, Seed: seed}).OpenLoop
 }
 
 // Snapshot is a point-in-time statistical export of a routing run:
@@ -160,6 +174,8 @@ type Snapshot = routing.Snapshot
 // MeasureOpenLoopSnapshot is MeasureOpenLoop with full instrumentation: it
 // additionally returns the Snapshot of the run. topK bounds the edge
 // utilization list (<= 0 means 10).
+//
+// Deprecated: use Run with a RunOpenLoop spec and Snapshot set.
 func MeasureOpenLoopSnapshot(m *Machine, rate float64, ticks, topK int, seed int64) (OpenLoopResult, Snapshot) {
 	return MeasureOpenLoopSnapshotSharded(m, rate, ticks, topK, 1, seed)
 }
@@ -167,11 +183,11 @@ func MeasureOpenLoopSnapshot(m *Machine, rate float64, ticks, topK int, seed int
 // MeasureOpenLoopSnapshotSharded is MeasureOpenLoopSnapshot on a simulator
 // sharded across the given number of goroutines (0 or 1 = serial); result
 // and snapshot are bit-identical at every shard count.
+//
+// Deprecated: use Run with a RunOpenLoop spec, Snapshot, and Shards set.
 func MeasureOpenLoopSnapshotSharded(m *Machine, rate float64, ticks, topK, shards int, seed int64) (OpenLoopResult, Snapshot) {
-	rng := rand.New(rand.NewSource(seed))
-	eng := routing.NewEngine(m, routing.Greedy)
-	eng.Shards = shards
-	return eng.OpenLoopSnapshot(traffic.NewSymmetric(m.N()), rate, ticks, rng, topK)
+	res := mustRun(m, RunSpec{Kind: RunOpenLoop, Rate: rate, Ticks: ticks, TopK: topK, Snapshot: true, Shards: shards, Seed: seed})
+	return *res.OpenLoop, *res.Snapshot
 }
 
 // NewLocalityTraffic returns a distance-decaying traffic distribution on

@@ -9,11 +9,18 @@
 //	          [-load 2,4,8] [-trials 2] [-seed 1] [-shards 0]
 //	          [-stats out.json] [-rate 0.9]
 //	          [-faults "edges:0.05@t100,nodes:8@t500,heal@t900"]
+//	          [-json]
 //	          [-cpuprofile cpu.out] [-memprofile mem.out] [-trace trace.out]
 //
 // -shards runs every simulation sharded across that many goroutines
 // (0 = one per available CPU, 1 = serial). Results are bit-for-bit
 // identical at every shard count; sharding only changes wall-clock time.
+//
+// With -json (which wants exactly one -sizes entry), the run becomes a
+// serializable RunSpec executed through the unified API and the RunResult
+// prints as indented JSON — byte-identical to what netemud's POST
+// /v1/measure returns for the same spec, which is what the CI parity
+// check diffs.
 //
 // With -stats, the largest size additionally runs an instrumented open-loop
 // at -rate times its measured β and the statistical snapshot (latency
@@ -29,18 +36,19 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"os"
 	"runtime"
-	"strconv"
-	"strings"
 
 	"repro"
 	"repro/internal/bandwidth"
 	"repro/internal/profiling"
+	"repro/internal/runspec"
+	"repro/internal/server/specflags"
 	"repro/internal/topology"
 )
 
@@ -62,6 +70,7 @@ func main() {
 	rate := flag.Float64("rate", 0.9, "drive the -stats open-loop at this fraction of the measured beta (in (0, 1])")
 	topK := flag.Int("topk", 10, "edge-utilization entries in the -stats snapshot")
 	faults := flag.String("faults", "", `fault spec (e.g. "edges:0.05@t100,nodes:8@t500,heal@t900") executed mid-run on the largest size's open-loop`)
+	jsonOut := flag.Bool("json", false, "execute the single-size β spec through the unified RunSpec API and print the RunResult JSON (netemud parity format)")
 	prof := profiling.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -72,34 +81,22 @@ func main() {
 		return
 	}
 	// Validate every knob up front: a bad flag should cost one line, not a
-	// panic trace or a run that never terminates.
-	if *statsTicks < 8 {
-		log.Fatalf("-stats-ticks must be at least 8, got %d", *statsTicks)
+	// panic trace or a run that never terminates. The checks live in
+	// specflags — shared with emusim and the netemud service.
+	mf := &specflags.Measure{
+		Family:     *familyName,
+		Dim:        *dim,
+		Sizes:      *sizes,
+		Load:       *load,
+		Trials:     *trials,
+		Seed:       *seed,
+		Shards:     *shards,
+		Rate:       *rate,
+		StatsTicks: *statsTicks,
+		TopK:       *topK,
+		Faults:     *faults,
 	}
-	if *rate <= 0 || *rate > 1 {
-		log.Fatalf("-rate must be in (0, 1], got %v", *rate)
-	}
-	if *trials < 1 {
-		log.Fatalf("-trials must be at least 1, got %d", *trials)
-	}
-	if *shards < 0 {
-		log.Fatalf("-shards must be >= 0 (0 = one per CPU), got %d", *shards)
-	}
-	if *dim < 0 {
-		log.Fatalf("-dim must be non-negative, got %d", *dim)
-	}
-	if *topK < 1 {
-		log.Fatalf("-topk must be at least 1, got %d", *topK)
-	}
-	if *faults != "" {
-		if _, err := netemu.ParseFaultSpec(*faults); err != nil {
-			log.Fatal(err)
-		}
-	}
-	sizeList := parsePositiveInts("-sizes", *sizes)
-	loadList := parsePositiveInts("-load", *load)
-	fam, err := topology.ParseFamily(*familyName)
-	if err != nil {
+	if err := mf.Validate(); err != nil {
 		log.Fatal(err)
 	}
 	nshards := *shards
@@ -113,7 +110,25 @@ func main() {
 	}
 	defer stop()
 
-	opts := netemu.MeasureOptions{LoadFactors: loadList, Trials: *trials, Shards: nshards}
+	if *jsonOut {
+		if len(mf.SizeList) != 1 {
+			log.Fatalf("-json wants exactly one -sizes entry, got %d", len(mf.SizeList))
+		}
+		spec := mf.BetaSpec(mf.SizeList[0])
+		spec.Shards = nshards
+		res, err := runspec.Execute(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		buf, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(append(buf, '\n'))
+		return
+	}
+
+	opts := netemu.MeasureOptions{LoadFactors: mf.LoadList, Trials: mf.Trials, Shards: nshards}
 	rng := rand.New(rand.NewSource(*seed))
 
 	var points []bandwidth.SweepPoint
@@ -124,8 +139,8 @@ func main() {
 		header += fmt.Sprintf(" %12s", "steady-beta")
 	}
 	fmt.Println(header)
-	for _, size := range sizeList {
-		m := topology.Build(fam, *dim, size, rng)
+	for _, size := range mf.SizeList {
+		m := topology.Build(mf.Fam, *dim, size, rng)
 		if *describe {
 			info, err := topology.Describe(m, rng)
 			if err != nil {
@@ -147,7 +162,7 @@ func main() {
 		a, bexp, _, rmse := bandwidth.FitGrowth(points)
 		fmt.Printf("\nfit: beta ~ n^%.3f * lg^%.2f n   (rmse %.3f in lg-space)\n", a, bexp, rmse)
 	}
-	if analytic, err := netemu.AnalyticBeta(fam, *dim); err == nil {
+	if analytic, err := netemu.AnalyticBeta(mf.Fam, *dim); err == nil {
 		fmt.Printf("paper (Table 4): beta = Θ(%s), λ = Θ(%s)\n", analytic.Beta, analytic.Lambda)
 	}
 	if (*stats != "" || *faults != "") && lastMachine != nil {
@@ -187,29 +202,4 @@ func writeSnapshot(path string, snap netemu.Snapshot) error {
 		return err
 	}
 	return f.Close()
-}
-
-// parsePositiveInts parses a comma-separated list of positive integers,
-// exiting with a one-line error naming the flag on any malformed or
-// non-positive entry.
-func parsePositiveInts(flagName, csv string) []int {
-	var out []int
-	for _, part := range strings.Split(csv, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		v, err := strconv.Atoi(part)
-		if err != nil {
-			log.Fatalf("%s: bad integer %q", flagName, part)
-		}
-		if v < 1 {
-			log.Fatalf("%s: entries must be positive, got %d", flagName, v)
-		}
-		out = append(out, v)
-	}
-	if len(out) == 0 {
-		log.Fatalf("%s: empty integer list", flagName)
-	}
-	return out
 }

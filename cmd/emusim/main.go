@@ -7,8 +7,13 @@
 //	emusim [-guest DeBruijn] [-gdim 2] [-gsize 256]
 //	       [-host Mesh] [-hdim 2] [-hsize 64]
 //	       [-steps 4] [-duplicity 1] [-circuit] [-seed 1] [-shards 0]
-//	       [-stats out.json] [-faults "nodes:3@t2"]
+//	       [-stats out.json] [-faults "nodes:3@t2"] [-json]
 //	       [-cpuprofile cpu.out] [-memprofile mem.out] [-trace trace.out]
+//
+// The flags build a serializable RunSpec (guest on the run seed, host on
+// seed+1) executed through the unified API — the same request netemud's
+// POST /v1/emulate serves. With -json the RunResult prints as indented
+// JSON, byte-identical to the service's response for the same spec.
 //
 // -shards runs the host's measurement simulations sharded across that many
 // goroutines (0 = one per available CPU, 1 = serial); results are
@@ -28,16 +33,17 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
 	"os"
 	"runtime"
 
 	"repro"
 	"repro/internal/profiling"
-	"repro/internal/topology"
+	"repro/internal/runspec"
+	"repro/internal/server/specflags"
 )
 
 func main() {
@@ -60,48 +66,33 @@ func main() {
 	topK := flag.Int("topk", 10, "edge-utilization entries in the -stats snapshot")
 	faults := flag.String("faults", "", `host fault spec "nodes:K@tS": K host processors die after guest step S and their guests are remapped`)
 	shards := flag.Int("shards", 0, "simulator shard count for host measurements (0 = one per CPU, 1 = serial); results are identical at any value")
+	jsonOut := flag.Bool("json", false, "print the RunResult JSON (netemud parity format) instead of the report")
 	prof := profiling.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	// Validate every knob up front — including the fault spec, before any
 	// machine is built — so a bad flag costs one line, not a panic trace.
-	if *statsTicks < 8 {
-		log.Fatalf("-stats-ticks must be at least 8, got %d", *statsTicks)
+	// The checks live in specflags, shared with betameter and netemud.
+	ef := &specflags.Emulate{
+		Guest:      *guestName,
+		GDim:       *gdim,
+		GSize:      *gsize,
+		Host:       *hostName,
+		HDim:       *hdim,
+		HSize:      *hsize,
+		Steps:      *steps,
+		Duplicity:  *duplicity,
+		Circuit:    *useCircuit,
+		Pipelined:  *pipelined,
+		Mapped:     *useMapper,
+		Faults:     *faults,
+		Seed:       *seed,
+		Shards:     *shards,
+		StatsTicks: *statsTicks,
+		TopK:       *topK,
 	}
-	if *steps < 1 {
-		log.Fatalf("-steps must be at least 1, got %d", *steps)
-	}
-	if *gsize < 1 || *hsize < 1 {
-		log.Fatalf("-gsize and -hsize must be positive, got %d and %d", *gsize, *hsize)
-	}
-	if *gdim < 0 || *hdim < 0 {
-		log.Fatalf("-gdim and -hdim must be non-negative, got %d and %d", *gdim, *hdim)
-	}
-	if *duplicity < 1 {
-		log.Fatalf("-duplicity must be at least 1, got %d", *duplicity)
-	}
-	if *topK < 1 {
-		log.Fatalf("-topk must be at least 1, got %d", *topK)
-	}
-	if *shards < 0 {
-		log.Fatalf("-shards must be >= 0 (0 = one per CPU), got %d", *shards)
-	}
-	var faultPlan netemu.FaultPlan
-	if *faults != "" {
-		if *useCircuit || *useMapper || *pipelined {
-			log.Fatal("-faults only supports the direct emulator")
-		}
-		plan, err := netemu.ParseFaultSpec(*faults)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if len(plan) != 1 || plan[0].Kind != netemu.NodeFaults {
-			log.Fatalf(`-faults wants a single "nodes:K@tS" clause, got %q`, *faults)
-		}
-		if plan[0].Tick < 1 || plan[0].Tick >= *steps {
-			log.Fatalf("-faults step %d must lie strictly inside the %d-step run", plan[0].Tick, *steps)
-		}
-		faultPlan = plan
+	if err := ef.Validate(); err != nil {
+		log.Fatal(err)
 	}
 	nshards := *shards
 	if nshards == 0 {
@@ -114,35 +105,46 @@ func main() {
 	}
 	defer stop()
 
-	guest := build(*guestName, *gdim, *gsize, *seed)
-	host := build(*hostName, *hdim, *hsize, *seed+1)
+	spec := ef.Spec()
+	res, err := runspec.Execute(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *jsonOut {
+		buf, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(append(buf, '\n'))
+		return
+	}
+
+	// The human-readable report needs the machines themselves (names, the
+	// theorem-bound check, the -stats open-loop); rebuild them exactly as
+	// Execute did, from the same machine specs.
+	guest, err := runspec.BuildMachine(*spec.Guest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	host, err := runspec.BuildMachine(*spec.Host)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("guest: %v\nhost:  %v\n", guest, host)
 
-	var res netemu.EmulationResult
-	switch {
-	case *faults != "":
-		deg := netemu.EmulateDegraded(guest, host, *steps, faultPlan[0].Tick, faultPlan[0].Count, *seed)
-		fmt.Printf("\nfault: %d host processors die after guest step %d\n", faultPlan[0].Count, deg.FailStep)
+	out := res.Emulation
+	if deg := out.Degraded; deg != nil {
+		fmt.Printf("\nfault: %d host processors die after guest step %d\n", ef.FaultPlan[0].Count, deg.FailStep)
 		fmt.Printf("dead hosts:    %v (%d live)\n", deg.DeadHosts, deg.LiveHosts)
 		fmt.Printf("remapped:      %d guest processors\n", deg.Remapped)
 		fmt.Printf("slowdown:      %.2f pre-fault, %.2f post-fault (penalty %.2f)\n",
 			deg.PreSlowdown, deg.PostSlowdown, deg.SlowdownPenalty)
-		res = deg.Result
-	case *useCircuit:
-		res = netemu.EmulateCircuit(guest, host, *steps, *duplicity, *seed)
-	case *useMapper:
-		assign := netemu.MappedContraction(guest, host, *seed)
-		res = netemu.EmulateWithAssignment(guest, host, *steps, assign, *seed)
-	case *pipelined:
-		res = netemu.EmulatePipelined(guest, host, *steps, *seed)
-	default:
-		res = netemu.Emulate(guest, host, *steps, *seed)
 	}
-	fmt.Printf("\nguest steps:   %d\n", res.GuestSteps)
-	fmt.Printf("host ticks:    %d (compute %d + route %d)\n", res.HostTicks, res.ComputeTicks, res.RouteTicks)
-	fmt.Printf("slowdown:      %.2f\n", res.Slowdown)
-	fmt.Printf("inefficiency:  %.2f\n", res.Inefficiency)
-	fmt.Printf("load bound:    %.2f (|G|/|H|)\n", res.LoadBound)
+	fmt.Printf("\nguest steps:   %d\n", out.GuestSteps)
+	fmt.Printf("host ticks:    %d (compute %d + route %d)\n", out.HostTicks, out.ComputeTicks, out.RouteTicks)
+	fmt.Printf("slowdown:      %.2f\n", out.Slowdown)
+	fmt.Printf("inefficiency:  %.2f\n", out.Inefficiency)
+	fmt.Printf("load bound:    %.2f (|G|/|H|)\n", out.LoadBound)
 
 	if check, err := netemu.VerifyBound(guest, host, *steps, *seed); err == nil {
 		fmt.Printf("\ntheorem bound: %.2f = max(|G|/|H|, β(G)/β(H))\n", check.Predicted)
@@ -181,12 +183,4 @@ func writeSnapshot(path string, snap netemu.Snapshot) error {
 		return err
 	}
 	return f.Close()
-}
-
-func build(name string, dim, size int, seed int64) *netemu.Machine {
-	f, err := topology.ParseFamily(name)
-	if err != nil {
-		log.Fatal(err)
-	}
-	return topology.Build(f, dim, size, rand.New(rand.NewSource(seed)))
 }

@@ -1,0 +1,113 @@
+// Command netemud is the long-running measurement service: every
+// measurement and emulation the CLIs expose, behind an HTTP API keyed
+// by the unified serializable RunSpec.
+//
+// Endpoints:
+//
+//	POST /v1/measure        β / steady-β / open-loop / fault-curve / λ
+//	POST /v1/emulate        direct / circuit / pipelined / mapped / degraded
+//	GET  /v1/tables/{1..4}  the paper's reproduced tables (plain text)
+//	GET  /healthz           liveness
+//	GET  /metrics           request/cache/coalescing counters + latency
+//
+// The POST endpoints take a JSON runspec.Spec and return the
+// json.MarshalIndent of its RunResult — byte-identical to what
+// `betameter -json` or `emusim -json` print for the same spec, which is
+// what the CI parity check diffs. Identical concurrent requests
+// coalesce into one simulation; distinct requests pass a bounded
+// admission queue (429 when full, 503 while draining) and optionally
+// persist through the same disk-cache format the report pipeline uses.
+//
+// Usage:
+//
+//	netemud [-addr :8080] [-concurrency N] [-queue 16]
+//	        [-request-timeout 60s] [-shards 1]
+//	        [-cache DIR] [-cache-max-bytes N]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("netemud: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	concurrency := flag.Int("concurrency", 0, "max simultaneous simulations (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 16, "max computations waiting for a slot before 429s")
+	timeout := flag.Duration("request-timeout", 60*time.Second, "default per-request deadline (clients lower it via X-Timeout-Ms)")
+	shards := flag.Int("shards", 1, "simulator shards per computation for specs that leave shards unset (0 = one per CPU); results are identical at any value")
+	cacheDir := flag.String("cache", "", "persist responses in this directory across restarts; shares the report pipeline's cache format")
+	cacheMax := flag.Int64("cache-max-bytes", 0, "evict oldest -cache entries once the directory exceeds this size (0 = unlimited)")
+	drain := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight computations")
+	flag.Parse()
+
+	cfg := server.Config{
+		MaxConcurrent:  *concurrency,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+		Shards:         *shards,
+	}
+	if cfg.MaxConcurrent == 0 {
+		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if *cacheDir != "" {
+		cache, err := experiment.OpenDiskCache(*cacheDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cache.SetMaxBytes(*cacheMax)
+		cfg.Cache = cache
+	}
+
+	srv := server.New(cfg)
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s (concurrency=%d, queue=%d, shards=%d)",
+			*addr, cfg.MaxConcurrent, cfg.QueueDepth, cfg.Shards)
+		errc <- hs.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+		return
+	case sig := <-stop:
+		log.Printf("got %v, draining (up to %v)", sig, *drain)
+	}
+
+	// Graceful drain: shed new work with 503, let admitted computations
+	// finish, then stop listening. A second deadline guards the whole
+	// sequence; whatever is still running after it is abandoned.
+	srv.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Wait(ctx); err != nil {
+		log.Printf("abandoning in-flight computations: %v", err)
+	}
+	srv.Close()
+}

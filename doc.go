@@ -24,6 +24,36 @@
 //   - the bottleneck-freeness audit from the paper's host-side condition
 //     (AuditBottleneck).
 //
+// # The unified RunSpec API
+//
+// Every simulator-backed measurement and emulation is expressible as a
+// serializable request — a RunSpec — executed by Run (prebuilt machine),
+// RunEmulation (prebuilt guest and host), or Execute (machines built from
+// the spec). The spec's Canonical() string is the system-wide identity:
+// the experiment orchestrator's memo cache, its persistent DiskCache, and
+// the netemud service's request coalescer all key off it, and results are
+// byte-identical however the request arrives (facade call, CLI flag set,
+// or HTTP POST).
+//
+// The historical per-variant facade functions remain as thin deprecated
+// wrappers over Run. Old call → new spec:
+//
+//	MeasureBeta(m, opts, seed)                            Run(m, RunSpec{Kind: RunBeta, LoadFactors: …, Trials: …, Seed: seed})
+//	MeasureSteadyBeta(m, ticks, iters, seed)              Run(m, RunSpec{Kind: RunSteadyBeta, Ticks: ticks, Iters: iters, Seed: seed})
+//	MeasureSteadyBetaSharded(m, t, i, shards, seed)       … same, plus Shards: shards
+//	MeasureOpenLoop(m, rate, ticks, seed)                 Run(m, RunSpec{Kind: RunOpenLoop, Rate: rate, Ticks: ticks, Seed: seed})
+//	MeasureOpenLoopSnapshot(m, rate, ticks, topK, seed)   … same, plus Snapshot: true, TopK: topK
+//	MeasureBetaUnderFaults(m, fracs, ticks, seed)         Run(m, RunSpec{Kind: RunFaultCurve, FaultFracs: fracs, Ticks: ticks, Seed: seed})
+//	MeasureOpenLoopSnapshotUnderFaults(m, r, t, k, f, s)  Run(m, RunSpec{Kind: RunOpenLoop, Rate: r, Ticks: t, TopK: k, Snapshot: true, Faults: f, Seed: s})
+//	Emulate(guest, host, steps, seed)                     RunEmulation(guest, host, RunSpec{Kind: RunEmulate, Steps: steps, Seed: seed})
+//	EmulateCircuit(g, h, steps, dup, seed)                … same, plus Mode: RunModeCircuit, Duplicity: dup
+//	EmulatePipelined(g, h, steps, seed)                   … same, plus Mode: RunModePipelined
+//	EmulateDegraded(g, h, steps, failStep, k, seed)       … same, plus Faults: "nodes:K@tS"
+//
+// Sharded variants differ only in the Shards field, which is excluded
+// from Canonical() — the determinism contract makes results identical at
+// every shard count, so shard count is not part of a request's identity.
+//
 // Everything is deterministic given a seed; all randomness flows through
 // explicitly seeded generators.
 package netemu

@@ -1,14 +1,12 @@
 package netemu
 
 import (
-	"math/rand"
+	"fmt"
 
 	"repro/internal/bandwidth"
 	"repro/internal/emulation"
-	"repro/internal/measure"
 	"repro/internal/routing"
 	"repro/internal/topology"
-	"repro/internal/traffic"
 )
 
 // Dynamic faults: machines that lose wires and processors mid-run. A
@@ -69,16 +67,20 @@ type FaultPoint = bandwidth.FaultPoint
 // traffic: for each fraction, a continuous run near saturation loses that
 // share of its wires a third of the way in, and the delivery rate is
 // compared across the pre- and post-fault windows.
+//
+// Deprecated: use Run with a RunFaultCurve spec.
 func MeasureBetaUnderFaults(m *Machine, fracs []float64, ticks int, seed int64) []FaultPoint {
-	return bandwidth.MeasureBetaUnderFaults(m, fracs, ticks, measure.NewSeedPlan(seed))
+	return MeasureBetaUnderFaultsSharded(m, fracs, ticks, 1, seed)
 }
 
 // MeasureBetaUnderFaultsSharded is MeasureBetaUnderFaults on a simulator
 // sharded across the given number of goroutines (0 or 1 = serial). The
 // liveness mask shards with the vertex partition; the curve is
 // bit-identical at every shard count.
+//
+// Deprecated: use Run with a RunFaultCurve spec and Shards set.
 func MeasureBetaUnderFaultsSharded(m *Machine, fracs []float64, ticks, shards int, seed int64) []FaultPoint {
-	return bandwidth.MeasureBetaUnderFaultsSharded(m, fracs, ticks, shards, measure.NewSeedPlan(seed))
+	return mustRun(m, RunSpec{Kind: RunFaultCurve, FaultFracs: fracs, Ticks: ticks, Shards: shards, Seed: seed}).FaultCurve
 }
 
 // MeasureOpenLoopSnapshotUnderFaults is MeasureOpenLoopSnapshot with a
@@ -86,6 +88,8 @@ func MeasureBetaUnderFaultsSharded(m *Machine, fracs []float64, ticks, shards in
 // against m, and executed while traffic flows. Stranded packets retry with
 // the default FaultOptions; the snapshot carries the dropped/retried
 // counters and the per-tick dropped series.
+//
+// Deprecated: use Run with a RunOpenLoop spec, Snapshot, and Faults set.
 func MeasureOpenLoopSnapshotUnderFaults(m *Machine, rate float64, ticks, topK int, spec string, seed int64) (OpenLoopResult, Snapshot) {
 	return MeasureOpenLoopSnapshotUnderFaultsSharded(m, rate, ticks, topK, 1, spec, seed)
 }
@@ -94,13 +98,12 @@ func MeasureOpenLoopSnapshotUnderFaults(m *Machine, rate float64, ticks, topK in
 // MeasureOpenLoopSnapshotUnderFaults on a simulator sharded across the
 // given number of goroutines (0 or 1 = serial); result and snapshot are
 // bit-identical at every shard count.
+//
+// Deprecated: use Run with a RunOpenLoop spec, Snapshot, Faults, and
+// Shards set.
 func MeasureOpenLoopSnapshotUnderFaultsSharded(m *Machine, rate float64, ticks, topK, shards int, spec string, seed int64) (OpenLoopResult, Snapshot) {
-	plan := MustParseFaultSpec(spec)
-	rng := rand.New(rand.NewSource(seed))
-	sched := plan.Materialize(m, rng)
-	eng := routing.NewEngine(m, routing.Greedy)
-	eng.Shards = shards
-	return eng.OpenLoopFaultsSnapshot(traffic.NewSymmetric(m.N()), rate, ticks, rng, topK, sched, routing.FaultOptions{})
+	res := mustRun(m, RunSpec{Kind: RunOpenLoop, Rate: rate, Ticks: ticks, TopK: topK, Snapshot: true, Faults: spec, Shards: shards, Seed: seed})
+	return *res.OpenLoop, *res.Snapshot
 }
 
 // DegradedEmulation reports an emulation that lost host processors mid-run:
@@ -113,6 +116,13 @@ type DegradedEmulation = emulation.DegradedResult
 // The dead hosts' guests are remapped to the nearest surviving host and the
 // run continues on the degraded machine; the result reports the slowdown
 // penalty the failure cost.
+//
+// Deprecated: use RunEmulation with a "nodes:K@tS" Faults clause.
 func EmulateDegraded(guest, host *Machine, steps, failStep, failCount int, seed int64) DegradedEmulation {
-	return emulation.DirectDegraded(guest, host, steps, failStep, failCount, rand.New(rand.NewSource(seed)))
+	return *mustRunEmulation(guest, host, RunSpec{
+		Kind:   RunEmulate,
+		Steps:  steps,
+		Faults: fmt.Sprintf("nodes:%d@t%d", failCount, failStep),
+		Seed:   seed,
+	}).DegradedResult
 }

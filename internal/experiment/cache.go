@@ -1,16 +1,15 @@
 package experiment
 
 import (
-	"fmt"
 	"math/rand"
 
 	"repro/internal/bandwidth"
+	"repro/internal/runspec"
 	"repro/internal/topology"
 )
 
-// The memoized measurements. Keys are the canonical textual identity of the
-// measurement — family, dimension, approximate size handed to
-// topology.Build, and (for β) the canonicalized MeasureOptions — so a
+// The memoized measurements. Keys are canonical runspec.Spec strings —
+// the same identity the netemud coalescer and the disk cache use — so a
 // report section asking for β(Mesh², 64) under default options and a
 // crossover sweep asking for the same machine share one computation. The
 // RNG stream is derived from the same key, which keeps cached and
@@ -24,9 +23,27 @@ type Lambda struct {
 	AvgDist  float64
 }
 
+// betaKey is the canonical RunSpec key of a memoized β measurement. Seed
+// stays out of the spec — the runner's base seed enters via diskKey — and
+// Shards stays out by the Canonical contract, so every consumer (memo,
+// disk cache, netemud coalescer) that asks for the same measurement lands
+// on the same string.
 func betaKey(f topology.Family, dim, size int, opts bandwidth.MeasureOptions) string {
-	return fmt.Sprintf("beta/%v/%d/%d/lf=%v,t=%d,s=%d",
-		f, dim, size, opts.LoadFactors, opts.Trials, opts.Strategy)
+	return runspec.Spec{
+		Kind:        runspec.KindBeta,
+		Machine:     &runspec.MachineSpec{Family: f.String(), Dim: dim, Size: size},
+		LoadFactors: opts.LoadFactors,
+		Trials:      opts.Trials,
+		Strategy:    opts.Strategy.String(),
+	}.Canonical()
+}
+
+// lambdaKey is the canonical RunSpec key of a memoized λ measurement.
+func lambdaKey(f topology.Family, dim, size int) string {
+	return runspec.Spec{
+		Kind:    runspec.KindLambda,
+		Machine: &runspec.MachineSpec{Family: f.String(), Dim: dim, Size: size},
+	}.Canonical()
 }
 
 // betaEntry is the serializable part of a Measurement — what the disk
@@ -55,13 +72,13 @@ func (r *Runner) BetaFuture(f topology.Family, dim, size int, opts bandwidth.Mea
 		m := topology.Build(f, dim, size, rng)
 		if r.disk != nil {
 			var e betaEntry
-			if r.disk.load(r.diskKey(key), &e) {
+			if r.disk.Load(r.diskKey(key), &e) {
 				return bandwidth.Measurement{Machine: m, Dist: e.Dist, Beta: e.Beta, RateByLoad: e.RateByLoad}
 			}
 		}
 		meas := bandwidth.MeasureSymmetricBeta(m, opts, rng)
 		if r.disk != nil {
-			r.disk.store(r.diskKey(key), betaEntry{Dist: meas.Dist, Beta: meas.Beta, RateByLoad: meas.RateByLoad})
+			r.disk.Store(r.diskKey(key), betaEntry{Dist: meas.Dist, Beta: meas.Beta, RateByLoad: meas.RateByLoad})
 		}
 		return meas
 	})
@@ -81,14 +98,14 @@ func (r *Runner) Beta(f topology.Family, dim, size int, opts bandwidth.MeasureOp
 // machine. With a disk cache attached, the job consults it before
 // measuring.
 func (r *Runner) LambdaFuture(f topology.Family, dim, size int) *Future[Lambda] {
-	key := fmt.Sprintf("lambda/%v/%d/%d", f, dim, size)
+	key := lambdaKey(f, dim, size)
 	if v, ok := r.lambda.Load(key); ok {
 		return v.(*Future[Lambda])
 	}
 	fut := newFuture(r, key, func(rng *rand.Rand) Lambda {
 		if r.disk != nil {
 			var l Lambda
-			if r.disk.load(r.diskKey(key), &l) {
+			if r.disk.Load(r.diskKey(key), &l) {
 				return l
 			}
 		}
@@ -96,7 +113,7 @@ func (r *Runner) LambdaFuture(f topology.Family, dim, size int) *Future[Lambda] 
 		diam, avg := bandwidth.MeasureLambda(m, rng)
 		out := Lambda{Diameter: diam, AvgDist: avg}
 		if r.disk != nil {
-			r.disk.store(r.diskKey(key), out)
+			r.disk.Store(r.diskKey(key), out)
 		}
 		return out
 	})

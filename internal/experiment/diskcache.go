@@ -6,7 +6,11 @@ import (
 	"hash/fnv"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // The persistent layer under the in-memory memoization: measurement results
@@ -29,17 +33,23 @@ import (
 // substitutes the stored numbers for the measurement, so hit and miss paths
 // return identical values.
 
-// measurementVersion names the semantics of the cached values. Bump it
+// MeasurementVersion names the semantics of the cached values. Bump it
 // whenever the simulator or estimators change measured numbers; stale
-// entries then miss on key comparison and are rewritten.
-const measurementVersion = "m4"
+// entries then miss on key comparison and are rewritten. Exported so the
+// netemud response cache can fold it into its own keys and go stale in
+// lockstep with the measurement caches.
+const MeasurementVersion = "m4"
 
 // DiskCache is a directory of JSON measurement entries. Safe for
 // concurrent use.
 type DiskCache struct {
-	dir    string
-	hits   atomic.Int64
-	misses atomic.Int64
+	dir      string
+	maxBytes atomic.Int64 // 0 = unlimited
+	hits     atomic.Int64
+	misses   atomic.Int64
+	evicted  atomic.Int64
+
+	evictMu sync.Mutex // one evictor at a time; store itself stays lock-free
 }
 
 // OpenDiskCache opens (creating if needed) a cache directory.
@@ -52,6 +62,20 @@ func OpenDiskCache(dir string) (*DiskCache, error) {
 
 // Dir returns the cache directory.
 func (c *DiskCache) Dir() string { return c.dir }
+
+// SetMaxBytes caps the cache directory's total entry size; every store
+// that pushes the directory past the cap evicts oldest-mtime-first entries
+// until it fits again. 0 (the default) disables eviction — the historical
+// grow-without-bound behaviour.
+func (c *DiskCache) SetMaxBytes(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	c.maxBytes.Store(n)
+}
+
+// Evicted returns how many entries the size cap has deleted so far.
+func (c *DiskCache) Evicted() int64 { return c.evicted.Load() }
 
 // Counts returns how many lookups hit and missed so far. Loads that fail
 // (absent, corrupt, stale, or colliding entries) all count as misses.
@@ -74,10 +98,13 @@ func (c *DiskCache) path(key string) string {
 	return filepath.Join(c.dir, fmt.Sprintf("%016x.json", h.Sum64()))
 }
 
-// load reads the entry for key into out, reporting whether it hit. Every
+// Load reads the entry for key into out, reporting whether it hit. Every
 // failure mode — missing file, unreadable JSON, a different key in the
-// file, value/out type mismatch — is a miss.
-func (c *DiskCache) load(key string, out any) bool {
+// file, value/out type mismatch — is a miss: a stale or foreign cache
+// directory degrades to recomputation, never to a wrong value or an
+// error. Exported for consumers (the netemud server) that key off
+// canonical RunSpec strings directly rather than through a Runner.
+func (c *DiskCache) Load(key string, out any) bool {
 	data, err := os.ReadFile(c.path(key))
 	if err != nil {
 		c.misses.Add(1)
@@ -92,9 +119,11 @@ func (c *DiskCache) load(key string, out any) bool {
 	return true
 }
 
-// store writes the entry for key. Errors are swallowed: a read-only or full
-// disk degrades the cache to a no-op, never the run to a failure.
-func (c *DiskCache) store(key string, val any) {
+// Store writes the entry for key. Errors are swallowed: a read-only or full
+// disk degrades the cache to a no-op, never the run to a failure. With a
+// size cap set, a store that pushes the directory over the cap evicts
+// oldest-mtime-first entries until it fits.
+func (c *DiskCache) Store(key string, val any) {
 	raw, err := json.Marshal(val)
 	if err != nil {
 		return
@@ -116,6 +145,61 @@ func (c *DiskCache) store(key string, val any) {
 	}
 	if os.Rename(name, c.path(key)) != nil {
 		os.Remove(name)
+		return
+	}
+	c.enforceCap()
+}
+
+// enforceCap deletes oldest-mtime-first entries until the directory's
+// total entry size fits under the cap. The just-written entry is the
+// youngest, so it survives unless it alone exceeds the cap. Errors are
+// swallowed like Store's: eviction is best-effort hygiene.
+func (c *DiskCache) enforceCap() {
+	cap := c.maxBytes.Load()
+	if cap <= 0 {
+		return
+	}
+	c.evictMu.Lock()
+	defer c.evictMu.Unlock()
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	type entry struct {
+		name  string
+		size  int64
+		mtime time.Time
+	}
+	var files []entry
+	var total int64
+	for _, de := range entries {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".json") {
+			continue // skip temp files and foreign content
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, entry{name: de.Name(), size: info.Size(), mtime: info.ModTime()})
+		total += info.Size()
+	}
+	if total <= cap {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if !files[i].mtime.Equal(files[j].mtime) {
+			return files[i].mtime.Before(files[j].mtime)
+		}
+		return files[i].name < files[j].name // stable order for equal mtimes
+	})
+	for _, f := range files {
+		if total <= cap {
+			break
+		}
+		if os.Remove(filepath.Join(c.dir, f.name)) == nil {
+			total -= f.size
+			c.evicted.Add(1)
+		}
 	}
 }
 
@@ -140,5 +224,5 @@ func (r *Runner) AttachDiskCache(dir string) (*DiskCache, error) {
 
 // diskKey extends an in-memory memo key with the run identity.
 func (r *Runner) diskKey(key string) string {
-	return fmt.Sprintf("%s/seed=%d/%s", key, r.seed, measurementVersion)
+	return fmt.Sprintf("%s/seed=%d/%s", key, r.seed, MeasurementVersion)
 }

@@ -1,9 +1,11 @@
 package experiment
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/internal/bandwidth"
 	"repro/internal/topology"
@@ -139,5 +141,121 @@ func TestDiskCacheLambda(t *testing.T) {
 	}
 	if warm != cold {
 		t.Fatalf("λ hit %+v differs from cold %+v", warm, cold)
+	}
+}
+
+// TestDiskCacheStaleKeyFormatDegradesToMiss is the key-migration
+// regression: entries written under the pre-RunSpec ad-hoc key format
+// ("beta/Mesh^2/..." identity strings) must read as clean misses under the
+// canonical-key scheme — never a wrong hit, never an error — and get
+// overwritten by fresh entries that then hit.
+func TestDiskCacheStaleKeyFormatDegradesToMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A plausible old-format entry, stored under its own (old) key.
+	oldKey := "beta/Mesh^2/2/36/lf=[2 4 8],t=2,s=0/seed=9/m4"
+	c.Store(oldKey, betaEntry{Dist: "symmetric", Beta: 99, RateByLoad: map[int]float64{2: 99}})
+
+	// A fresh run over the same directory must miss (different canonical
+	// key → different file), measure, and store its own entry...
+	r := New(9, 2)
+	dc, err := r.AttachDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.Beta(topology.MeshFamily, 2, 36, bandwidth.MeasureOptions{})
+	if hits, _ := dc.Counts(); hits != 0 {
+		t.Fatalf("stale-format entry served as a hit (%d hits)", hits)
+	}
+	if got.Beta == 99 {
+		t.Fatal("stale-format value leaked into a fresh measurement")
+	}
+	// ...which the next run hits.
+	r2 := New(9, 2)
+	dc2, err := r2.AttachDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := r2.Beta(topology.MeshFamily, 2, 36, bandwidth.MeasureOptions{})
+	if hits, _ := dc2.Counts(); hits != 1 {
+		t.Fatal("fresh canonical entry did not hit")
+	}
+	if warm.Beta != got.Beta {
+		t.Fatalf("warm β %v != cold β %v", warm.Beta, got.Beta)
+	}
+}
+
+// TestDiskCacheUnlimitedByDefault pins the default: no cap, no eviction,
+// however many entries accumulate.
+func TestDiskCacheUnlimitedByDefault(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		c.Store(fmt.Sprintf("key-%d", i), map[string]int{"i": i})
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	if len(files) != 50 {
+		t.Fatalf("unlimited cache holds %d entries, want 50", len(files))
+	}
+	if c.Evicted() != 0 {
+		t.Fatalf("unlimited cache evicted %d entries", c.Evicted())
+	}
+}
+
+// TestDiskCacheEvictsOldestFirst: with a cap set, stores evict
+// oldest-mtime entries first and the newest survive.
+func TestDiskCacheEvictsOldestFirst(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measure one entry's size, then cap the directory at three entries.
+	c.Store("probe", map[string]string{"v": "0123456789"})
+	files, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	if len(files) != 1 {
+		t.Fatalf("probe store wrote %d files", len(files))
+	}
+	info, err := os.Stat(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	entrySize := info.Size()
+	if err := os.Remove(files[0]); err != nil {
+		t.Fatal(err)
+	}
+	c.SetMaxBytes(3*entrySize + entrySize/2)
+
+	// Store five same-size entries with strictly increasing mtimes (the
+	// filesystem clock may be coarse, so force them).
+	keys := []string{"a", "b", "c", "d", "e"}
+	base := time.Now().Add(-time.Hour)
+	for i, k := range keys {
+		c.Store(k, map[string]string{"v": "0123456789"})
+		if err := os.Chtimes(c.path(k), base.Add(time.Duration(i)*time.Minute), base.Add(time.Duration(i)*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+		c.enforceCap() // re-run with the forced mtimes in place
+	}
+	// The oldest entries (a, b) must be gone; the newest three must hit.
+	var sink map[string]string
+	for _, k := range []string{"a", "b"} {
+		if c.Load(k, &sink) {
+			t.Errorf("evicted entry %q still hits", k)
+		}
+	}
+	for _, k := range []string{"c", "d", "e"} {
+		if !c.Load(k, &sink) {
+			t.Errorf("young entry %q was evicted", k)
+		}
+	}
+	if c.Evicted() < 2 {
+		t.Errorf("evicted counter %d, want >= 2", c.Evicted())
 	}
 }

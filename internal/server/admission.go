@@ -1,0 +1,58 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// Bounded admission: at most maxConcurrent simulations run at once, at
+// most queueDepth more may wait for a slot, and anything beyond that is
+// shed immediately with 429 rather than queued without bound. Only
+// computation leaders pass through admission — coalesced joiners and
+// cache hits never consume a slot.
+
+var errQueueFull = errors.New("admission queue full")
+
+type admission struct {
+	slots   chan struct{}
+	waiting atomic.Int64
+	depth   int64
+}
+
+func newAdmission(maxConcurrent, queueDepth int) *admission {
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &admission{
+		slots: make(chan struct{}, maxConcurrent),
+		depth: int64(queueDepth),
+	}
+}
+
+// acquire takes a free slot immediately when one exists; otherwise it
+// joins the wait queue — failing fast with errQueueFull when the queue
+// is already at depth — and blocks until a slot frees or ctx is done.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if a.waiting.Add(1) > a.depth {
+		a.waiting.Add(-1)
+		return errQueueFull
+	}
+	defer a.waiting.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (a *admission) release() { <-a.slots }

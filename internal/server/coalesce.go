@@ -1,0 +1,60 @@
+package server
+
+import "sync"
+
+// Request coalescing (singleflight): concurrent requests for the same
+// canonical RunSpec share one underlying computation. The key is
+// runspec.Spec.Canonical(), so two requests that spell the same
+// measurement differently — defaults omitted vs spelled out, shard
+// counts differing — still coalesce.
+//
+// The computation runs on its own goroutine, detached from any single
+// requester's deadline: a waiter that times out gets its 504 while the
+// work keeps running for the others (and for the memo cache). Waiters
+// select on call.done against their own context.
+
+// call is one in-flight computation and its published outcome. Fields
+// are written exactly once, before done is closed; readers must wait on
+// done first.
+type call struct {
+	done   chan struct{}
+	body   []byte // the response bytes every waiter shares
+	status int    // HTTP status to serve them with
+	errMsg string // non-empty when status is an error
+}
+
+type coalescer struct {
+	mu    sync.Mutex
+	calls map[string]*call
+}
+
+func newCoalescer() *coalescer {
+	return &coalescer{calls: make(map[string]*call)}
+}
+
+// join returns the in-flight call for key, creating it if absent.
+// leader reports whether this caller created it and therefore owns
+// running the computation and publishing the outcome via finish.
+func (c *coalescer) join(key string) (cl *call, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cl, ok := c.calls[key]; ok {
+		return cl, false
+	}
+	cl = &call{done: make(chan struct{})}
+	c.calls[key] = cl
+	return cl, true
+}
+
+// finish publishes the outcome and retires the key so later requests go
+// to the memo cache (or start a fresh computation) instead of a
+// completed call.
+func (c *coalescer) finish(key string, cl *call, body []byte, status int, errMsg string) {
+	cl.body = body
+	cl.status = status
+	cl.errMsg = errMsg
+	c.mu.Lock()
+	delete(c.calls, key)
+	c.mu.Unlock()
+	close(cl.done)
+}

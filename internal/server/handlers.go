@@ -1,0 +1,314 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/runspec"
+)
+
+// maxBodyBytes bounds request bodies; a RunSpec is a few hundred bytes,
+// so a megabyte is generous.
+const maxBodyBytes = 1 << 20
+
+// errorBody is the uniform error shape: {"error": "..."}.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	b, _ := json.Marshal(errorBody{Error: msg})
+	w.Write(append(b, '\n'))
+}
+
+func writeBody(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+// instrument wraps a handler with the per-endpoint counters: in-flight
+// gauge and a latency histogram keyed by the final status.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.inFlight.Add(1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		s.metrics.inFlight.Add(-1)
+		s.metrics.observe(endpoint, sw.status, time.Since(start).Microseconds())
+	}
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+// recoverPanics converts a panicking handler into a 500 response. The
+// simulators panic on contract violations (e.g. impossible machine
+// shapes that pass shallow validation); the service must answer, not
+// die.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.metrics.panics.Add(1)
+				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", v))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// requestTimeout reads the client's deadline from the X-Timeout-Ms
+// header or timeout_ms query parameter, falling back to the server
+// default. Nonsense values fall back too — a garbled deadline should
+// not fail an otherwise valid request.
+func requestTimeout(r *http.Request, def time.Duration) time.Duration {
+	raw := r.Header.Get("X-Timeout-Ms")
+	if raw == "" {
+		raw = r.URL.Query().Get("timeout_ms")
+	}
+	if raw == "" {
+		return def
+	}
+	ms, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || ms <= 0 {
+		return def
+	}
+	return time.Duration(ms) * time.Millisecond
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// measureKinds is what POST /v1/measure accepts; everything else in the
+// RunSpec vocabulary is an emulation and belongs to /v1/emulate.
+func measureKind(k runspec.Kind) bool {
+	switch k {
+	case runspec.KindBeta, runspec.KindSteadyBeta, runspec.KindOpenLoop,
+		runspec.KindFaultCurve, runspec.KindLambda:
+		return true
+	}
+	return false
+}
+
+// The kind gates redirect known-but-misrouted kinds to the right
+// endpoint; kinds outside the vocabulary fall through to Validate's
+// "unknown kind" error.
+func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
+	s.handleSpec(w, r, runspec.KindBeta, func(k runspec.Kind) error {
+		if k == runspec.KindEmulate {
+			return fmt.Errorf("kind %q is not a measurement; POST /v1/emulate for emulations", k)
+		}
+		return nil
+	})
+}
+
+func (s *Server) handleEmulate(w http.ResponseWriter, r *http.Request) {
+	s.handleSpec(w, r, runspec.KindEmulate, func(k runspec.Kind) error {
+		if measureKind(k) {
+			return fmt.Errorf("kind %q is not an emulation; POST /v1/measure for measurements", k)
+		}
+		return nil
+	})
+}
+
+// handleSpec is the shared body of the two RunSpec endpoints:
+// parse → validate → memo → coalesce → wait (against the deadline).
+func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request, defaultKind runspec.Kind, kindOK func(runspec.Kind) error) {
+	if s.isDraining() {
+		s.metrics.shed503.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	var spec runspec.Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed request body: "+err.Error())
+		return
+	}
+	if spec.Kind == "" {
+		spec.Kind = defaultKind
+	}
+	if err := kindOK(spec.Kind); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if spec.Kind != runspec.KindEmulate && spec.Machine == nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("runspec: kind %s needs a machine spec", spec.Kind))
+		return
+	}
+
+	key := spec.Canonical()
+	if body, ok := s.memoLoad(key); ok {
+		s.metrics.memoHits.Add(1)
+		writeBody(w, body)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), requestTimeout(r, s.cfg.DefaultTimeout))
+	defer cancel()
+
+	cl, leader := s.coalescer.join(key)
+	if leader {
+		s.jobs.Add(1)
+		go func() {
+			defer s.jobs.Done()
+			body, status, errMsg := s.compute(spec, key)
+			s.coalescer.finish(key, cl, body, status, errMsg)
+		}()
+	} else {
+		s.metrics.coalesced.Add(1)
+	}
+
+	select {
+	case <-cl.done:
+		if cl.status == http.StatusOK {
+			writeBody(w, cl.body)
+		} else {
+			writeError(w, cl.status, cl.errMsg)
+		}
+	case <-ctx.Done():
+		s.metrics.timeout.Add(1)
+		writeError(w, http.StatusGatewayTimeout, "deadline expired before the result was ready")
+	}
+}
+
+// responseDiskKey folds the measurement version into the persistent
+// key, so entries written before a semantics change degrade to clean
+// misses exactly like the experiment caches' entries do.
+func responseDiskKey(canonical string) string {
+	return "netemud/response/" + experiment.MeasurementVersion + "/" + canonical
+}
+
+// compute runs (or loads) the computation for one canonical spec. It
+// executes on the leader's detached goroutine: no request deadline
+// applies here, so a slow simulation still lands in the caches even if
+// every requester has given up. The panic guard mirrors the HTTP-layer
+// one — simulations run off the handler goroutine, so the middleware
+// cannot see their panics.
+func (s *Server) compute(spec runspec.Spec, key string) (body []byte, status int, errMsg string) {
+	defer func() {
+		if v := recover(); v != nil {
+			s.metrics.panics.Add(1)
+			body, status, errMsg = nil, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", v)
+		}
+	}()
+
+	if s.cfg.Cache != nil {
+		var raw json.RawMessage
+		if s.cfg.Cache.Load(responseDiskKey(key), &raw) {
+			// The cache stores the JSON value, not the wire bytes; the
+			// entry file compacts and re-nests it. Re-indenting restores
+			// the exact MarshalIndent form — key order is preserved — so
+			// disk hits serve byte-identical responses.
+			var buf bytes.Buffer
+			if json.Indent(&buf, raw, "", "  ") == nil {
+				s.metrics.diskHits.Add(1)
+				buf.WriteByte('\n')
+				body = buf.Bytes()
+				s.memoStore(key, body)
+				return body, http.StatusOK, ""
+			}
+		}
+		s.metrics.diskMiss.Add(1)
+	}
+
+	if err := s.admission.acquire(s.execCtx); err != nil {
+		if errors.Is(err, errQueueFull) {
+			s.metrics.shed429.Add(1)
+			return nil, http.StatusTooManyRequests, "server overloaded: admission queue full"
+		}
+		s.metrics.shed503.Add(1)
+		return nil, http.StatusServiceUnavailable, "server shutting down"
+	}
+	defer s.admission.release()
+
+	s.metrics.executed.Add(1)
+	if spec.Shards == 0 {
+		spec.Shards = s.cfg.Shards
+	}
+	res, err := runspec.Execute(spec)
+	if err != nil {
+		return nil, http.StatusBadRequest, err.Error()
+	}
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return nil, http.StatusInternalServerError, "encoding result: " + err.Error()
+	}
+	body = append(buf, '\n')
+	s.memoStore(key, body)
+	if s.cfg.Cache != nil {
+		s.cfg.Cache.Store(responseDiskKey(key), json.RawMessage(body))
+	}
+	return body, http.StatusOK, ""
+}
+
+// handleTables serves the paper's reproduced tables as plain text:
+// GET /v1/tables/{1..4}?j=2&k=2 — the same renderings nettables prints.
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	q := r.URL.Query()
+	j, err := queryInt(q.Get("j"), 2)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad j: "+err.Error())
+		return
+	}
+	k, err := queryInt(q.Get("k"), 2)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad k: "+err.Error())
+		return
+	}
+	// Render into a buffer first so a failed render can still serve a
+	// clean error status instead of a truncated body.
+	var buf bytes.Buffer
+	switch id {
+	case "1":
+		err = core.WriteTable(&buf, fmt.Sprintf("Table 1: mesh/torus/X-grid guests at j=%d (hosts at k=%d)", j, k), core.Table1(j, k))
+	case "2":
+		err = core.WriteTable(&buf, fmt.Sprintf("Table 2: mesh-of-trees/multigrid/pyramid guests at j=%d (hosts at k=%d)", j, k), core.Table2(j, k))
+	case "3":
+		err = core.WriteTable(&buf, fmt.Sprintf("Table 3: hypercubic guests (hosts at k=%d)", k), core.Table3(k))
+	case "4":
+		err = core.WriteTable4(&buf, k)
+	default:
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown table %q (want 1, 2, 3, or 4)", id))
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "rendering table: "+err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(buf.Bytes())
+}
+
+func queryInt(raw string, def int) (int, error) {
+	if raw == "" {
+		return def, nil
+	}
+	return strconv.Atoi(raw)
+}

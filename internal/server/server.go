@@ -1,0 +1,189 @@
+// Package server implements the netemud measurement service: the HTTP
+// layer over the unified RunSpec API. Every measurement and emulation
+// the CLIs expose is available as a POST of a serialized runspec.Spec;
+// identity, caching, and coalescing all key off spec.Canonical(), the
+// same string the experiment orchestrator and its disk cache use.
+//
+// The request path, in order:
+//
+//	parse → validate → memo cache → coalesce → admission → disk cache →
+//	simulate → publish
+//
+// Concurrent requests for the same canonical spec share one computation
+// (singleflight); distinct specs pass a bounded admission queue (429
+// when full, 503 while draining) and run under at most MaxConcurrent
+// simulations. Each request carries a deadline; expiry serves 504 while
+// the computation keeps running for other waiters and the caches.
+// Panics in handlers or simulations become 500s, not crashes.
+package server
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+// Config carries netemud's tuning knobs. The zero value is usable:
+// serial simulations, a small queue, a one-minute default deadline, no
+// persistent cache.
+type Config struct {
+	// MaxConcurrent bounds simultaneous simulations (default 1).
+	MaxConcurrent int
+	// QueueDepth bounds how many computations may wait for a slot
+	// before new ones are shed with 429 (default 16; negative = no
+	// queue, shed whenever every slot is busy).
+	QueueDepth int
+	// DefaultTimeout is the per-request deadline when the client sends
+	// none (default 60s). Clients lower it via the X-Timeout-Ms header
+	// or timeout_ms query parameter.
+	DefaultTimeout time.Duration
+	// Shards is applied to specs that leave Shards at 0. Results are
+	// shard-count-invariant by the determinism contract; this is purely
+	// a throughput knob.
+	Shards int
+	// Cache, when non-nil, persists responses across restarts keyed by
+	// (canonical spec, measurement version).
+	Cache *experiment.DiskCache
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent < 1 {
+		c.MaxConcurrent = 1
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 16
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.Shards < 0 {
+		c.Shards = 0
+	}
+	return c
+}
+
+// Server is the netemud HTTP service. Create with New, mount Handler,
+// and on shutdown call BeginDrain then Wait.
+type Server struct {
+	cfg       Config
+	mux       *http.ServeMux
+	metrics   *metrics
+	coalescer *coalescer
+	admission *admission
+
+	memo     sync.Map // canonical key -> []byte response body
+	memoLen  int64    // approximate entry count, under memoMu
+	memoMu   sync.Mutex
+	memoCap  int64
+
+	draining  chan struct{} // closed by BeginDrain
+	drainOnce sync.Once
+	execCtx   context.Context // cancels queued work on forced Close
+	execStop  context.CancelFunc
+	jobs      sync.WaitGroup // running computations
+}
+
+// memoCapEntries bounds the in-memory response cache: past this many
+// entries new responses are served but not retained (the disk cache,
+// when attached, still holds them). Crude but sufficient — entries are
+// small and the working set of distinct specs rarely approaches this.
+const memoCapEntries = 4096
+
+// New builds a Server. It does not listen; mount Handler on an
+// http.Server (or httptest.Server) of your choosing.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:       cfg,
+		metrics:   newMetrics(),
+		coalescer: newCoalescer(),
+		admission: newAdmission(cfg.MaxConcurrent, cfg.QueueDepth),
+		memoCap:   memoCapEntries,
+		draining:  make(chan struct{}),
+		execCtx:   ctx,
+		execStop:  stop,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/measure", s.instrument("/v1/measure", s.handleMeasure))
+	mux.HandleFunc("POST /v1/emulate", s.instrument("/v1/emulate", s.handleEmulate))
+	mux.HandleFunc("GET /v1/tables/{id}", s.instrument("/v1/tables", s.handleTables))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.metrics.serveHTTP)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the root handler: the route mux wrapped in panic
+// recovery, so a bug in any handler serves a 500 instead of killing the
+// process.
+func (s *Server) Handler() http.Handler { return s.recoverPanics(s.mux) }
+
+// Metrics exposes the counters for tests and embedding processes.
+func (s *Server) Metrics() metricsSnapshot { return s.metrics.snapshot() }
+
+// BeginDrain moves the server into draining mode: new measurement and
+// emulation requests are shed with 503, while requests already admitted
+// — including computations still in the queue — run to completion. Call
+// before http.Server.Shutdown so clients see an honest 503 rather than
+// a reset connection.
+func (s *Server) BeginDrain() {
+	s.drainOnce.Do(func() { close(s.draining) })
+}
+
+// Wait blocks until every started computation has finished or ctx
+// expires, returning ctx.Err in the latter case.
+func (s *Server) Wait(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.jobs.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close forces shutdown: queued computations are cancelled (their
+// waiters see 503) and Wait-style draining is abandoned. Running
+// simulations still finish — the simulator has no preemption points —
+// but nothing new starts.
+func (s *Server) Close() {
+	s.BeginDrain()
+	s.execStop()
+}
+
+func (s *Server) isDraining() bool {
+	select {
+	case <-s.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+// memoStore retains a response body up to the cap.
+func (s *Server) memoStore(key string, body []byte) {
+	s.memoMu.Lock()
+	defer s.memoMu.Unlock()
+	if s.memoLen >= s.memoCap {
+		return
+	}
+	if _, loaded := s.memo.LoadOrStore(key, body); !loaded {
+		s.memoLen++
+	}
+}
+
+func (s *Server) memoLoad(key string) ([]byte, bool) {
+	v, ok := s.memo.Load(key)
+	if !ok {
+		return nil, false
+	}
+	return v.([]byte), true
+}

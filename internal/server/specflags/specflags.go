@@ -1,0 +1,217 @@
+// Package specflags is the one place CLI flags become RunSpecs. It
+// carries the flag-validation contract both CLIs always had — a bad
+// flag costs exactly one error line naming the flag, never a panic
+// trace — and builds the same runspec.Spec values the netemud service
+// accepts, so a CLI run and the equivalent POST are the same request.
+package specflags
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/runspec"
+	"repro/internal/topology"
+)
+
+// PositiveInts parses a comma-separated list of positive integers,
+// returning a one-line error naming the flag on any malformed or
+// non-positive entry.
+func PositiveInts(flagName, csv string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(csv, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad integer %q", flagName, part)
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("%s: entries must be positive, got %d", flagName, v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: empty integer list", flagName)
+	}
+	return out, nil
+}
+
+// Measure is betameter's knob set. Fill from flags, Validate once, then
+// read the parsed fields (SizeList, LoadList, Fam).
+type Measure struct {
+	Family     string
+	Dim        int
+	Sizes      string // raw -sizes csv
+	Load       string // raw -load csv
+	Trials     int
+	Seed       int64
+	Shards     int
+	Rate       float64
+	StatsTicks int
+	TopK       int
+	Faults     string
+
+	// Populated by Validate.
+	Fam      topology.Family
+	SizeList []int
+	LoadList []int
+}
+
+// Validate checks every knob up front with the historical one-line
+// errors, and resolves the parsed fields.
+func (f *Measure) Validate() error {
+	if f.StatsTicks < 8 {
+		return fmt.Errorf("-stats-ticks must be at least 8, got %d", f.StatsTicks)
+	}
+	if f.Rate <= 0 || f.Rate > 1 {
+		return fmt.Errorf("-rate must be in (0, 1], got %v", f.Rate)
+	}
+	if f.Trials < 1 {
+		return fmt.Errorf("-trials must be at least 1, got %d", f.Trials)
+	}
+	if f.Shards < 0 {
+		return fmt.Errorf("-shards must be >= 0 (0 = one per CPU), got %d", f.Shards)
+	}
+	if f.Dim < 0 {
+		return fmt.Errorf("-dim must be non-negative, got %d", f.Dim)
+	}
+	if f.TopK < 1 {
+		return fmt.Errorf("-topk must be at least 1, got %d", f.TopK)
+	}
+	if f.Faults != "" {
+		if _, err := topology.ParseFaultSpec(f.Faults); err != nil {
+			return err
+		}
+	}
+	var err error
+	if f.SizeList, err = PositiveInts("-sizes", f.Sizes); err != nil {
+		return err
+	}
+	if f.LoadList, err = PositiveInts("-load", f.Load); err != nil {
+		return err
+	}
+	if f.Fam, err = topology.ParseFamily(f.Family); err != nil {
+		return err
+	}
+	return nil
+}
+
+// BetaSpec is the serializable request for the β measurement of one
+// size in the sweep — what `betameter -json` executes and what the
+// netemud parity check POSTs.
+func (f *Measure) BetaSpec(size int) runspec.Spec {
+	return runspec.Spec{
+		Kind:        runspec.KindBeta,
+		Machine:     &runspec.MachineSpec{Family: f.Fam.String(), Dim: f.Dim, Size: size, Seed: f.Seed},
+		LoadFactors: f.LoadList,
+		Trials:      f.Trials,
+		Seed:        f.Seed,
+		Shards:      f.Shards,
+	}
+}
+
+// Emulate is emusim's knob set.
+type Emulate struct {
+	Guest      string
+	GDim       int
+	GSize      int
+	Host       string
+	HDim       int
+	HSize      int
+	Steps      int
+	Duplicity  int
+	Circuit    bool
+	Pipelined  bool
+	Mapped     bool
+	Faults     string
+	Seed       int64
+	Shards     int
+	StatsTicks int
+	TopK       int
+
+	// Populated by Validate.
+	GFam, HFam topology.Family
+	FaultPlan  topology.FaultPlan
+}
+
+// Validate checks every knob up front — including the fault spec,
+// before any machine is built — with the historical one-line errors.
+func (f *Emulate) Validate() error {
+	if f.StatsTicks < 8 {
+		return fmt.Errorf("-stats-ticks must be at least 8, got %d", f.StatsTicks)
+	}
+	if f.Steps < 1 {
+		return fmt.Errorf("-steps must be at least 1, got %d", f.Steps)
+	}
+	if f.GSize < 1 || f.HSize < 1 {
+		return fmt.Errorf("-gsize and -hsize must be positive, got %d and %d", f.GSize, f.HSize)
+	}
+	if f.GDim < 0 || f.HDim < 0 {
+		return fmt.Errorf("-gdim and -hdim must be non-negative, got %d and %d", f.GDim, f.HDim)
+	}
+	if f.Duplicity < 1 {
+		return fmt.Errorf("-duplicity must be at least 1, got %d", f.Duplicity)
+	}
+	if f.TopK < 1 {
+		return fmt.Errorf("-topk must be at least 1, got %d", f.TopK)
+	}
+	if f.Shards < 0 {
+		return fmt.Errorf("-shards must be >= 0 (0 = one per CPU), got %d", f.Shards)
+	}
+	if f.Faults != "" {
+		if f.Circuit || f.Mapped || f.Pipelined {
+			return fmt.Errorf("-faults only supports the direct emulator")
+		}
+		plan, err := topology.ParseFaultSpec(f.Faults)
+		if err != nil {
+			return err
+		}
+		if len(plan) != 1 || plan[0].Kind != topology.NodeFaults {
+			return fmt.Errorf(`-faults wants a single "nodes:K@tS" clause, got %q`, f.Faults)
+		}
+		if plan[0].Tick < 1 || plan[0].Tick >= f.Steps {
+			return fmt.Errorf("-faults step %d must lie strictly inside the %d-step run", plan[0].Tick, f.Steps)
+		}
+		f.FaultPlan = plan
+	}
+	var err error
+	if f.GFam, err = topology.ParseFamily(f.Guest); err != nil {
+		return err
+	}
+	if f.HFam, err = topology.ParseFamily(f.Host); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Spec is the serializable request for the configured emulation: the
+// guest built on the run seed, the host on seed+1, exactly as emusim
+// always has. Mode precedence mirrors the historical switch: faults,
+// circuit, map, pipelined, direct.
+func (f *Emulate) Spec() runspec.Spec {
+	mode := runspec.ModeDirect
+	switch {
+	case f.Faults != "":
+		mode = runspec.ModeDirect
+	case f.Circuit:
+		mode = runspec.ModeCircuit
+	case f.Mapped:
+		mode = runspec.ModeMapped
+	case f.Pipelined:
+		mode = runspec.ModePipelined
+	}
+	return runspec.Spec{
+		Kind:      runspec.KindEmulate,
+		Guest:     &runspec.MachineSpec{Family: f.GFam.String(), Dim: f.GDim, Size: f.GSize, Seed: f.Seed},
+		Host:      &runspec.MachineSpec{Family: f.HFam.String(), Dim: f.HDim, Size: f.HSize, Seed: f.Seed + 1},
+		Steps:     f.Steps,
+		Mode:      mode,
+		Duplicity: f.Duplicity,
+		Faults:    f.Faults,
+		Seed:      f.Seed,
+		Shards:    f.Shards,
+	}
+}

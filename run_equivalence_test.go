@@ -1,0 +1,184 @@
+package netemu
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/bandwidth"
+	"repro/internal/measure"
+	"repro/internal/routing"
+	"repro/internal/traffic"
+)
+
+// smallTable4Machines are small instances of every Table 4 machine — the
+// sweep the RunSpec equivalence proofs run over. Small sizes keep the
+// 20-machine × multi-kind matrix fast.
+func smallTable4Machines(t *testing.T) []*Machine {
+	t.Helper()
+	return []*Machine{
+		NewLinearArray(16),
+		NewGlobalBus(16),
+		NewTree(4),
+		NewWeakPPN(16),
+		NewXTree(4),
+		NewMesh(2, 4),
+		NewMesh(3, 3),
+		NewTorus(2, 4),
+		NewXGrid(2, 4),
+		NewMeshOfTrees(2, 4),
+		NewMultigrid(2, 4),
+		NewPyramid(2, 4),
+		NewButterfly(3),
+		NewWrappedButterfly(3),
+		NewCubeConnectedCycles(3),
+		NewShuffleExchange(4),
+		NewDeBruijn(4),
+		NewWeakHypercube(4),
+		NewMultibutterfly(3, 1),
+		NewExpander(16, 1),
+	}
+}
+
+// asJSON renders a value for byte-level comparison; identical bytes is the
+// contract the deprecated wrappers promise against the old implementations.
+func asJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return string(b)
+}
+
+// The old facade bodies, inlined verbatim (pre-RunSpec), as reference
+// implementations. The deprecated wrappers now route through Run; these
+// prove the rerouting changed nothing, byte for byte, on all 20 Table 4
+// machines.
+func legacyMeasureBeta(m *Machine, opts MeasureOptions, seed int64) Measurement {
+	return bandwidth.MeasureSymmetricBeta(m, opts, rand.New(rand.NewSource(seed)))
+}
+
+func legacySteadyBeta(m *Machine, ticks, iters, shards int, seed int64) float64 {
+	return bandwidth.SteadyStateBetaSharded(m, ticks, iters, shards, rand.New(rand.NewSource(seed)))
+}
+
+func legacyOpenLoop(m *Machine, rate float64, ticks, shards int, seed int64) OpenLoopResult {
+	rng := rand.New(rand.NewSource(seed))
+	eng := routing.NewEngine(m, routing.Greedy)
+	eng.Shards = shards
+	return eng.OpenLoop(traffic.NewSymmetric(m.N()), rate, ticks, rng)
+}
+
+func legacyOpenLoopSnapshot(m *Machine, rate float64, ticks, topK, shards int, seed int64) (OpenLoopResult, Snapshot) {
+	rng := rand.New(rand.NewSource(seed))
+	eng := routing.NewEngine(m, routing.Greedy)
+	eng.Shards = shards
+	return eng.OpenLoopSnapshot(traffic.NewSymmetric(m.N()), rate, ticks, rng, topK)
+}
+
+func legacyOpenLoopSnapshotUnderFaults(m *Machine, rate float64, ticks, topK, shards int, spec string, seed int64) (OpenLoopResult, Snapshot) {
+	plan := MustParseFaultSpec(spec)
+	rng := rand.New(rand.NewSource(seed))
+	sched := plan.Materialize(m, rng)
+	eng := routing.NewEngine(m, routing.Greedy)
+	eng.Shards = shards
+	return eng.OpenLoopFaultsSnapshot(traffic.NewSymmetric(m.N()), rate, ticks, rng, topK, sched, routing.FaultOptions{})
+}
+
+func legacyBetaUnderFaults(m *Machine, fracs []float64, ticks, shards int, seed int64) []FaultPoint {
+	return bandwidth.MeasureBetaUnderFaultsSharded(m, fracs, ticks, shards, measure.NewSeedPlan(seed))
+}
+
+// TestRunSpecEquivalenceTable4 proves the API collapse lossless: for every
+// Table 4 machine, each deprecated wrapper (now a one-line Run call)
+// produces byte-identical output to the pre-RunSpec implementation.
+func TestRunSpecEquivalenceTable4(t *testing.T) {
+	const seed = 42
+	opts := MeasureOptions{LoadFactors: []int{2}, Trials: 1}
+	for _, m := range smallTable4Machines(t) {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			t.Parallel()
+			oldBeta := legacyMeasureBeta(m, opts, seed)
+			newBeta := MeasureBeta(m, opts, seed)
+			if got, want := asJSON(t, newBeta.Beta), asJSON(t, oldBeta.Beta); got != want {
+				t.Errorf("beta: %s != %s", got, want)
+			}
+			if !reflect.DeepEqual(newBeta.RateByLoad, oldBeta.RateByLoad) {
+				t.Errorf("beta rates: %v != %v", newBeta.RateByLoad, oldBeta.RateByLoad)
+			}
+
+			oldSteady := legacySteadyBeta(m, 60, 3, 1, seed)
+			newSteady := MeasureSteadyBetaSharded(m, 60, 3, 1, seed)
+			if oldSteady != newSteady {
+				t.Errorf("steady beta: %v != %v", newSteady, oldSteady)
+			}
+
+			oldOL := legacyOpenLoop(m, 2, 64, 1, seed)
+			newOL := MeasureOpenLoop(m, 2, 64, seed)
+			if asJSON(t, oldOL) != asJSON(t, newOL) {
+				t.Errorf("open loop: %s != %s", asJSON(t, newOL), asJSON(t, oldOL))
+			}
+
+			oldSnapOL, oldSnap := legacyOpenLoopSnapshot(m, 2, 64, 5, 1, seed)
+			newSnapOL, newSnap := MeasureOpenLoopSnapshot(m, 2, 64, 5, seed)
+			if asJSON(t, oldSnapOL) != asJSON(t, newSnapOL) || asJSON(t, oldSnap) != asJSON(t, newSnap) {
+				t.Errorf("open-loop snapshot diverged")
+			}
+
+			const faults = "edges:0.1@t20"
+			oldFOL, oldFSnap := legacyOpenLoopSnapshotUnderFaults(m, 2, 64, 5, 1, faults, seed)
+			newFOL, newFSnap := MeasureOpenLoopSnapshotUnderFaults(m, 2, 64, 5, faults, seed)
+			if asJSON(t, oldFOL) != asJSON(t, newFOL) || asJSON(t, oldFSnap) != asJSON(t, newFSnap) {
+				t.Errorf("faulted open-loop snapshot diverged")
+			}
+
+			oldCurve := legacyBetaUnderFaults(m, []float64{0.2}, 45, 1, seed)
+			newCurve := MeasureBetaUnderFaults(m, []float64{0.2}, 45, seed)
+			if asJSON(t, oldCurve) != asJSON(t, newCurve) {
+				t.Errorf("fault curve: %s != %s", asJSON(t, newCurve), asJSON(t, oldCurve))
+			}
+		})
+	}
+}
+
+// TestRunSpecShardsExcludedFromKey pins the contract the cache layers rely
+// on: shard count changes neither the canonical key nor the result.
+func TestRunSpecShardsExcludedFromKey(t *testing.T) {
+	a := RunSpec{Kind: RunOpenLoop, Rate: 2, Ticks: 64, Seed: 7}
+	b := a
+	b.Shards = 4
+	if a.Canonical() != b.Canonical() {
+		t.Fatalf("canonical keys differ across shard counts:\n%s\n%s", a.Canonical(), b.Canonical())
+	}
+	m := NewDeBruijn(5)
+	ra, err := Run(m, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Run(m, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asJSON(t, ra) != asJSON(t, rb) {
+		t.Fatalf("sharded result diverged from serial")
+	}
+}
+
+// TestRunSpecDefaultsCanonicalize pins that zero values and spelled-out
+// defaults share one canonical key (the coalescing/caching contract).
+func TestRunSpecDefaultsCanonicalize(t *testing.T) {
+	zero := RunSpec{Kind: RunBeta, Seed: 3}
+	full := RunSpec{Kind: RunBeta, LoadFactors: []int{2, 4, 8}, Trials: 2,
+		Strategy: "greedy", Traffic: "symmetric", Seed: 3}
+	if zero.Canonical() != full.Canonical() {
+		t.Fatalf("defaults canonicalize differently:\n%s\n%s", zero.Canonical(), full.Canonical())
+	}
+	different := full
+	different.Seed = 4
+	if different.Canonical() == full.Canonical() {
+		t.Fatal("seed change did not change the canonical key")
+	}
+}
