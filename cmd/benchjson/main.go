@@ -19,11 +19,26 @@
 //
 // Repeated runs of the same benchmark (-count N) are averaged, with the
 // run count summed, so -count 5 yields one stable row per benchmark.
+//
+// Regression guard mode:
+//
+//	go test ./internal/routing/ -run '^$' -bench BenchmarkSimStep -benchmem |
+//	    benchjson -check BENCH_routing.json -threshold 0.25 -o fresh.json
+//
+// -check compares the fresh ns/op of every benchmark whose name starts
+// with -prefix (default BenchmarkSimStep) against the committed record and
+// exits 1 when any regresses by more than -threshold (fractional; 0.25 =
+// 25%). The comparison table goes to stderr; -o writes the fresh JSON to a
+// file (so CI can upload both sides as artifacts) instead of stdout.
+// Benchmarks present on only one side are reported but never fail the
+// check — renames should not break CI runs of unrelated changes.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
+	"fmt"
 	"log"
 	"os"
 	"strconv"
@@ -51,6 +66,11 @@ type benchFile struct {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
+	check := flag.String("check", "", "committed benchmark JSON to compare against; exit 1 on regression")
+	threshold := flag.Float64("threshold", 0.25, "fractional ns/op regression tolerance for -check (0.25 = 25%)")
+	prefix := flag.String("prefix", "BenchmarkSimStep", "benchmark name prefix the -check comparison covers")
+	outPath := flag.String("o", "", "write the fresh JSON to this file instead of stdout")
+	flag.Parse()
 	var out benchFile
 	index := map[string]*benchResult{}
 	sc := bufio.NewScanner(os.Stdin)
@@ -92,11 +112,76 @@ func main() {
 		r.BytesPerOp /= float64(r.samples)
 		r.AllocsPerOp /= float64(r.samples)
 	}
-	enc := json.NewEncoder(os.Stdout)
+	dst := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		dst = f
+	}
+	enc := json.NewEncoder(dst)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {
 		log.Fatal(err)
 	}
+	if *check != "" {
+		if !checkRegressions(out, *check, *prefix, *threshold) {
+			os.Exit(1)
+		}
+	}
+}
+
+// checkRegressions compares the fresh results against the committed
+// record, reporting every prefixed benchmark to stderr and returning false
+// when any regresses beyond the threshold.
+func checkRegressions(fresh benchFile, committedPath, prefix string, threshold float64) bool {
+	raw, err := os.ReadFile(committedPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var committed benchFile
+	if err := json.Unmarshal(raw, &committed); err != nil {
+		log.Fatalf("%s: %v", committedPath, err)
+	}
+	base := map[string]*benchResult{}
+	for _, r := range committed.Benchmarks {
+		if strings.HasPrefix(r.Name, prefix) {
+			base[r.Name] = r
+		}
+	}
+	ok := true
+	compared := 0
+	for _, r := range fresh.Benchmarks {
+		if !strings.HasPrefix(r.Name, prefix) {
+			continue
+		}
+		b, found := base[r.Name]
+		if !found {
+			fmt.Fprintf(os.Stderr, "  NEW      %-50s %14.0f ns/op (not in %s)\n", r.Name, r.NsPerOp, committedPath)
+			continue
+		}
+		delete(base, r.Name)
+		compared++
+		ratio := r.NsPerOp / b.NsPerOp
+		verdict := "ok"
+		if ratio > 1+threshold {
+			verdict = "REGRESSED"
+			ok = false
+		}
+		fmt.Fprintf(os.Stderr, "  %-8s %-50s %14.0f -> %.0f ns/op (%+.1f%%)\n",
+			verdict, r.Name, b.NsPerOp, r.NsPerOp, 100*(ratio-1))
+	}
+	for name := range base {
+		fmt.Fprintf(os.Stderr, "  MISSING  %-50s (committed but not in this run)\n", name)
+	}
+	if compared == 0 {
+		// A prefix typo or an empty bench run must not masquerade as a pass.
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmarks matching prefix %q on both sides\n", prefix)
+		return false
+	}
+	return ok
 }
 
 // parseBenchLine parses one "BenchmarkX-8  N  T ns/op [B B/op] [A allocs/op]"

@@ -16,6 +16,15 @@
 // (0 = one per available CPU, 1 = serial). Results are bit-for-bit
 // identical at every shard count; sharding only changes wall-clock time.
 //
+// -adjacency implicit builds the machines with generator-backed adjacency
+// (WeakHypercube, Mesh, and Torus only), so million-vertex sizes — a
+// dim-20 hypercube, a 1024x1024 mesh — build without materializing edge
+// lists. Each β measurement is bit-identical to its explicit twin's; the
+// flux/bisection bound columns, -steady, and -describe need the whole edge
+// list and are unavailable (and because the bounds no longer draw from the
+// sweep rng, the printed sweep as a whole is not draw-for-draw comparable
+// with an explicit run's).
+//
 // With -json (which wants exactly one -sizes entry), the run becomes a
 // serializable RunSpec executed through the unified API and the RunResult
 // prints as indented JSON — byte-identical to what netemud's POST
@@ -70,6 +79,7 @@ func main() {
 	rate := flag.Float64("rate", 0.9, "drive the -stats open-loop at this fraction of the measured beta (in (0, 1])")
 	topK := flag.Int("topk", 10, "edge-utilization entries in the -stats snapshot")
 	faults := flag.String("faults", "", `fault spec (e.g. "edges:0.05@t100,nodes:8@t500,heal@t900") executed mid-run on the largest size's open-loop`)
+	adjacency := flag.String("adjacency", "", `machine representation: "explicit" (default) or "implicit" (generator-backed adjacency; WeakHypercube, Mesh, Torus only — results are bit-identical, but million-vertex sizes fit in memory)`)
 	jsonOut := flag.Bool("json", false, "execute the single-size β spec through the unified RunSpec API and print the RunResult JSON (netemud parity format)")
 	prof := profiling.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -95,9 +105,17 @@ func main() {
 		StatsTicks: *statsTicks,
 		TopK:       *topK,
 		Faults:     *faults,
+		Adjacency:  *adjacency,
 	}
 	if err := mf.Validate(); err != nil {
 		log.Fatal(err)
+	}
+	implicit := mf.Adjacency == runspec.AdjImplicit
+	if implicit && *steady {
+		log.Fatal("-steady needs a materialized graph; drop -adjacency implicit")
+	}
+	if implicit && *describe {
+		log.Fatal("-describe needs a materialized graph; drop -adjacency implicit")
 	}
 	nshards := *shards
 	if nshards == 0 {
@@ -128,7 +146,7 @@ func main() {
 		return
 	}
 
-	opts := netemu.MeasureOptions{LoadFactors: mf.LoadList, Trials: mf.Trials, Shards: nshards}
+	opts := netemu.MeasureOptions{LoadFactors: mf.LoadList, Trials: mf.Trials, Shards: nshards, Implicit: implicit}
 	rng := rand.New(rand.NewSource(*seed))
 
 	var points []bandwidth.SweepPoint
@@ -140,7 +158,15 @@ func main() {
 	}
 	fmt.Println(header)
 	for _, size := range mf.SizeList {
-		m := topology.Build(mf.Fam, *dim, size, rng)
+		var m *netemu.Machine
+		if implicit {
+			var err error
+			if m, err = topology.BuildImplicit(mf.Fam, *dim, size); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			m = topology.Build(mf.Fam, *dim, size, rng)
+		}
 		if *describe {
 			info, err := topology.Describe(m, rng)
 			if err != nil {
@@ -149,10 +175,17 @@ func main() {
 			fmt.Print(info)
 		}
 		meas := bandwidth.MeasureSymmetricBeta(m, opts, rng)
-		b := bandwidth.UpperBounds(m, 4, rng)
 		points = append(points, bandwidth.SweepPoint{N: m.N(), Beta: meas.Beta})
 		lastMachine, lastBeta = m, meas.Beta
-		line := fmt.Sprintf("%-10d %12.2f %12.2f %12.2f", m.N(), meas.Beta, b.Flux, b.Bisection)
+		line := fmt.Sprintf("%-10d %12.2f", m.N(), meas.Beta)
+		if implicit {
+			// The flux and bisection bounds need the whole edge list; an
+			// implicit sweep trades them for memory.
+			line += fmt.Sprintf(" %12s %12s", "-", "-")
+		} else {
+			b := bandwidth.UpperBounds(m, 4, rng)
+			line += fmt.Sprintf(" %12.2f %12.2f", b.Flux, b.Bisection)
+		}
 		if *steady {
 			line += fmt.Sprintf(" %12.2f", bandwidth.SteadyStateBetaSharded(m, 300, 8, nshards, rng))
 		}

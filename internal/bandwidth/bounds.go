@@ -28,6 +28,9 @@ type Bounds struct {
 // heuristic uses `restarts` local-search restarts.
 func UpperBounds(m *topology.Machine, restarts int, rng *rand.Rand) Bounds {
 	g := m.Graph
+	if g == nil {
+		panic(fmt.Sprintf("bandwidth: UpperBounds needs a materialized graph; %s is implicit (use Materialize first)", m.Name))
+	}
 	var txcap float64
 	for v := 0; v < g.N(); v++ {
 		deg := float64(g.Degree(v))

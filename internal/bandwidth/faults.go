@@ -52,6 +52,11 @@ func (c *connectedPairs) Graph() *multigraph.Multigraph { return c.inner.Graph()
 // exact measured values) they had before disconnected machines were
 // supported.
 func deliverableDist(m *topology.Machine, dist traffic.Distribution) traffic.Distribution {
+	if m.Graph == nil {
+		// Implicit machines are connected by construction; returning early
+		// keeps their rng draw sequence identical to their explicit twins'.
+		return dist
+	}
 	comp := make([]int, m.Graph.N())
 	for i := range comp {
 		comp[i] = -1

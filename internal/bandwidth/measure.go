@@ -29,6 +29,12 @@ type MeasureOptions struct {
 	// contract makes the measured values bit-identical at every shard
 	// count, which is why cache layers exclude Shards from their keys.
 	Shards int
+	// Implicit makes sweeps build machines with generator-backed adjacency
+	// (topology.BuildImplicit) when the family supports it — hypercube,
+	// mesh, torus — so million-vertex sizes fit in memory. Like Shards this
+	// is a representation knob, not a measurement parameter: implicit and
+	// explicit runs are bit-identical, so cache layers exclude it too.
+	Implicit bool
 }
 
 // Canonical returns the options with every default filled in, so two
@@ -190,7 +196,18 @@ func SweepBeta(f topology.Family, dim int, sizes []int, opts MeasureOptions, pla
 // them bit-identical.
 func sweepPoint(f topology.Family, dim, size, index int, opts MeasureOptions, plan measure.SeedPlan) SweepPoint {
 	rng := plan.RNG(uint64(f), uint64(index))
-	m := topology.Build(f, dim, size, rng)
+	var m *topology.Machine
+	if opts.Implicit && topology.ImplicitSupported(f) {
+		// Build consumes no rng draws for these families, so the implicit
+		// sweep sees the exact streams the explicit one does.
+		var err error
+		m, err = topology.BuildImplicit(f, dim, size)
+		if err != nil {
+			panic(fmt.Sprintf("bandwidth: %v", err))
+		}
+	} else {
+		m = topology.Build(f, dim, size, rng)
+	}
 	meas := MeasureSymmetricBeta(m, opts, rng)
 	return SweepPoint{N: m.N(), Beta: meas.Beta}
 }
@@ -199,6 +216,9 @@ func sweepPoint(f topology.Family, dim, size, index int, opts MeasureOptions, pl
 // double-sweep diameter and the (sampled) average distance. λ(M) is
 // proportional to both on every machine in Table 4.
 func MeasureLambda(m *topology.Machine, rng *rand.Rand) (diameter int, avgDist float64) {
+	if m.Graph == nil {
+		panic(fmt.Sprintf("bandwidth: MeasureLambda needs a materialized graph; %s is implicit (use Materialize first)", m.Name))
+	}
 	var err error
 	if m.Graph.N() <= 1024 {
 		diameter, err = m.Graph.Diameter()

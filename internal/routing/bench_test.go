@@ -107,6 +107,37 @@ func BenchmarkSimStepSharded(b *testing.B) {
 	}
 }
 
+// BenchmarkSimStepMillionVertex drives Step on the dim-20 weak hypercube
+// — 1,048,576 vertices, buildable only through the implicit generator
+// representation — under a standing symmetric load. The extra ns/vertex
+// column makes the row comparable to the 65k-vertex sharded curve above
+// despite the 16× size difference.
+func BenchmarkSimStepMillionVertex(b *testing.B) {
+	m := topology.ImplicitWeakHypercube(20)
+	n := m.N()
+	e := NewEngine(m, Greedy)
+	rng := rand.New(rand.NewSource(1))
+	s := e.NewSim(rng)
+	defer s.Close()
+	dist := traffic.NewSymmetric(n)
+	s.Inject(traffic.Batch(dist, n, rng))
+	for i := 0; i < 4; i++ {
+		s.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.InFlight() < n/4 {
+			b.StopTimer()
+			s.Inject(traffic.Batch(dist, n/2, rng))
+			b.StartTimer()
+		}
+		s.Step()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/vertex")
+}
+
 func BenchmarkSimOpenLoop(b *testing.B) {
 	m := topology.Mesh(2, 8)
 	e := NewEngine(m, Greedy)

@@ -18,10 +18,18 @@
 // O(congestion + dilation) bound of the universal routing scheme the paper
 // cites, which is all the Θ-level measurements need.
 //
+// The engine routes on either adjacency representation: a materialized
+// multigraph flattened into CSR arrays, or (for hypercube/mesh/torus
+// machines built with topology.ImplicitWeakHypercube and friends) a
+// generator that computes neighbours on the fly — the difference between a
+// dim-20 hypercube being simulable or not. The two representations produce
+// byte-identical results; see pickHop and DESIGN.md.
+//
 // The simulator can run sharded: the vertex set is partitioned across k
 // goroutines that exchange boundary packets through per-shard mailboxes
-// with a barrier per tick. Results are bit-for-bit identical to the serial
-// run at every shard count (see shard.go and DESIGN.md for the contract).
+// under an epoch-counter pipeline per tick. Results are bit-for-bit
+// identical to the serial run at every shard count (see shard.go and
+// DESIGN.md for the contract).
 package routing
 
 import (
@@ -81,6 +89,16 @@ func (d Discipline) String() string {
 	}
 }
 
+// geomKind tags the implicit-adjacency fast paths.
+type geomKind int
+
+const (
+	geomNone geomKind = iota
+	geomHypercube
+	geomMesh
+	geomTorus
+)
+
 // Engine simulates packet routing on one machine. It caches per-destination
 // distance fields, so reuse one Engine across batches on the same machine.
 type Engine struct {
@@ -97,52 +115,103 @@ type Engine struct {
 	// distPtrs caches per-destination BFS distance fields. Lazily filled
 	// with atomic publication so concurrent shards can warm it without
 	// locks: a racing recompute produces the identical field (BFS is
-	// deterministic) and the last store wins.
+	// deterministic) and the last store wins. Nil for implicit machines,
+	// whose fault-free distances are always analytic.
 	distPtrs []atomic.Pointer[[]int]
 
 	// oracle, when non-nil, computes exact graph distance analytically
 	// (hypercube popcount, mesh/torus coordinate distance), replacing the
-	// O(N) BFS fields whose all-destination warmup is O(N^2) memory — the
-	// difference between a dim-16 hypercube being simulable or not. Only
+	// O(N) BFS fields whose all-destination warmup is O(N^2) memory. Only
 	// installed when the machine's geometry provably matches its graph;
-	// faulted routing always falls back to masked BFS fields.
+	// faulted routing always falls back to masked BFS fields. Implicit
+	// machines always have one.
 	oracle func(u, v int) int
 
-	nbrs [][]neighbor // sorted adjacency, for deterministic iteration
+	// Explicit adjacency, flattened CSR-style (nil for implicit machines):
+	// slot j in [edgeBase[u], edgeBase[u+1]) holds neighbour nbrV[j] with
+	// wire multiplicity nbrMult[j], neighbours ascending — directed edge id
+	// j. Sim uses the ids to keep per-tick wire usage in a flat array.
+	nbrV     []int32
+	nbrMult  []int64
+	edgeBase []int32
+
+	// Implicit adjacency (geom != nil): neighbours are generated, and
+	// directed edge u->v gets id u*gDeg + rank(v), order-isomorphic to the
+	// CSR ids of the explicit twin (both number edges by (u asc, v asc)),
+	// so id-ordered tie-breaks agree between representations.
+	geom    *topology.Implicit
+	gk      geomKind
+	gOrder  int // hypercube order
+	gDim    int // mesh/torus dimension
+	gSide   int // mesh/torus side
+	gDeg    int // max degree = per-vertex edge-id stride
+	gStride [topology.MaxImplicitDim]int
+
+	// caps[v] is v's forwarding capacity (-1 unlimited); nil when the
+	// machine has no capped vertex, so the hot path skips the lookup.
+	caps []int64
 
 	// live is nil until EnableFaults: liveness-aware routing (masked
 	// distance fields, dead-wire skipping) costs the fault-free hot path
 	// nothing beyond a nil check.
 	live *liveState
 
-	// Directed edges get dense ids: slot k of nbrs[u] is edge edgeBase[u]+k.
-	// Sim uses the ids to keep per-tick wire usage in a flat array instead
-	// of a map.
-	edgeBase []int32
-	numEdges int
-}
-
-type neighbor struct {
-	v    int
-	mult int64
+	numVerts int
+	numEdges int // directed edge id space (CSR slots, or numVerts*gDeg)
 }
 
 // NewEngine returns an engine for m using the given strategy.
 func NewEngine(m *topology.Machine, strategy Strategy) *Engine {
 	e := &Engine{M: m, Strategy: strategy}
-	g := m.Graph
-	e.nbrs = make([][]neighbor, g.N())
-	e.edgeBase = make([]int32, g.N()+1)
-	for u := 0; u < g.N(); u++ {
-		e.edgeBase[u] = int32(e.numEdges)
-		for _, v := range g.Neighbors(u) { // sorted
-			e.nbrs[u] = append(e.nbrs[u], neighbor{v: v, mult: g.Multiplicity(u, v)})
+	if im := m.Implicit; im != nil {
+		e.geom = im
+		e.numVerts = im.N()
+		e.gDeg = im.MaxDeg()
+		e.numEdges = e.numVerts * e.gDeg
+		if order, ok := im.Hypercube(); ok {
+			e.gk, e.gOrder = geomHypercube, order
+		} else {
+			dim, side, wrap, _ := im.Grid()
+			e.gDim, e.gSide = dim, side
+			e.gk = geomMesh
+			if wrap {
+				e.gk = geomTorus
+			}
+			stride := 1
+			for d := 0; d < dim; d++ {
+				e.gStride[d] = stride
+				stride *= side
+			}
 		}
-		e.numEdges += len(e.nbrs[u])
+		e.oracle = im.Distance
+	} else {
+		g := m.Graph
+		e.numVerts = g.N()
+		e.edgeBase = make([]int32, g.N()+1)
+		for u := 0; u < g.N(); u++ {
+			e.edgeBase[u] = int32(e.numEdges)
+			e.numEdges += len(g.Neighbors(u))
+		}
+		e.edgeBase[g.N()] = int32(e.numEdges)
+		e.nbrV = make([]int32, e.numEdges)
+		e.nbrMult = make([]int64, e.numEdges)
+		for u := 0; u < g.N(); u++ {
+			j := e.edgeBase[u]
+			for _, v := range g.Neighbors(u) { // sorted
+				e.nbrV[j] = int32(v)
+				e.nbrMult[j] = g.Multiplicity(u, v)
+				j++
+			}
+		}
+		e.distPtrs = make([]atomic.Pointer[[]int], g.N())
+		e.oracle = analyticDistance(m)
 	}
-	e.edgeBase[g.N()] = int32(e.numEdges)
-	e.distPtrs = make([]atomic.Pointer[[]int], g.N())
-	e.oracle = analyticDistance(m)
+	if m.VertexCap != nil || m.UniformCap > 0 {
+		e.caps = make([]int64, e.numVerts)
+		for v := range e.caps {
+			e.caps[v] = m.Cap(v)
+		}
+	}
 	return e
 }
 
@@ -206,6 +275,10 @@ func analyticDistance(m *topology.Machine) func(u, v int) int {
 
 // edgeEnds recovers the (from, to) vertices of a directed edge id.
 func (e *Engine) edgeEnds(id int32) (int, int) {
+	if e.geom != nil {
+		u := int(id) / e.gDeg
+		return u, e.geom.Neighbor(u, int(id)%e.gDeg)
+	}
 	// Binary search the base offsets.
 	lo, hi := 0, len(e.edgeBase)-1
 	for lo+1 < hi {
@@ -216,7 +289,7 @@ func (e *Engine) edgeEnds(id int32) (int, int) {
 			hi = mid
 		}
 	}
-	return lo, e.nbrs[lo][id-e.edgeBase[lo]].v
+	return lo, int(e.nbrV[id])
 }
 
 // dist returns the BFS distance field to dst, computing and caching it on
@@ -225,6 +298,11 @@ func (e *Engine) edgeEnds(id int32) (int, int) {
 func (e *Engine) dist(dst int) []int {
 	if e.live != nil {
 		return e.liveDist(dst)
+	}
+	if e.geom != nil {
+		// Implicit machines route on the analytic oracle; a fault-free BFS
+		// field would be an O(N) allocation bug, not a fallback.
+		panic("routing: BFS distance field requested on an implicit machine without faults")
 	}
 	if p := e.distPtrs[dst].Load(); p != nil {
 		return *p
@@ -253,13 +331,6 @@ type Stats struct {
 	Rate      float64 // Messages / Ticks — the operational bandwidth sample
 }
 
-type packet struct {
-	at       int // current vertex
-	dst      int // current target (intermediate during Valiant phase 1)
-	finalDst int
-	phase1   bool // still heading for the Valiant intermediate
-}
-
 // Route injects the batch at tick 0 (every message waits at its source) and
 // runs the machine until all messages are delivered, returning the stats.
 // Messages whose source equals destination are rejected with a panic — the
@@ -271,7 +342,7 @@ func (e *Engine) Route(batch []traffic.Message, rng *rand.Rand) Stats {
 	s := e.NewSim(rng)
 	defer s.Close()
 	s.Inject(batch)
-	limit := 200*len(batch) + 100*e.M.Graph.N() + 1000
+	limit := 200*len(batch) + 100*e.numVerts + 1000
 	for s.InFlight() > 0 {
 		if s.Now() > limit {
 			panic(fmt.Sprintf("routing: no progress after %d ticks (%d messages left) on %s",
@@ -292,27 +363,43 @@ func (e *Engine) Route(batch []traffic.Message, rng *rand.Rand) Stats {
 // has capacity this tick, uniformly among the available choices using u's
 // per-tick decision stream. It returns the chosen vertex and its
 // directed-edge id, or (-1, -1) if all downhill wires are saturated.
-// edgeUsed is indexed by edge id (see edgeBase); only edges out of u are
-// read or written, which is what makes concurrent shards safe.
+// edgeUsed is indexed by edge id; only edges out of u are read or written,
+// which is what makes concurrent shards safe.
+//
+// Every representation and fast path enumerates the candidates in the same
+// order — neighbours ascending by vertex id — and spends exactly one
+// reservoir draw per unsaturated downhill neighbour, so the decision
+// streams (and therefore all results) are identical across explicit,
+// implicit, serial, and sharded runs.
 func (e *Engine) pickHop(u, dst int, edgeUsed []int32, vr *vrand) (int, int32) {
+	if e.geom != nil {
+		if e.live != nil {
+			return e.pickHopGeomLive(u, dst, edgeUsed, vr)
+		}
+		if e.gk == geomHypercube {
+			return e.pickHopHypercube(u, dst, edgeUsed, vr)
+		}
+		return e.pickHopGrid(u, dst, edgeUsed, vr)
+	}
 	base := e.edgeBase[u]
+	end := e.edgeBase[u+1]
 	best := -1
 	var bestEdge int32 = -1
 	count := 0
 	if oracle := e.oracle; oracle != nil && e.live == nil {
 		du := oracle(u, dst) - 1
-		for k, nb := range e.nbrs[u] {
-			if oracle(nb.v, dst) != du {
+		for id := base; id < end; id++ {
+			v := int(e.nbrV[id])
+			if oracle(v, dst) != du {
 				continue
 			}
-			id := base + int32(k)
-			if int64(edgeUsed[id]) >= nb.mult {
+			if int64(edgeUsed[id]) >= e.nbrMult[id] {
 				continue
 			}
 			// Reservoir-sample uniformly among available downhill neighbours.
 			count++
 			if vr.intn(count) == 0 {
-				best = nb.v
+				best = v
 				bestEdge = id
 			}
 		}
@@ -321,22 +408,213 @@ func (e *Engine) pickHop(u, dst int, edgeUsed []int32, vr *vrand) (int, int32) {
 	d := e.dist(dst)
 	du := d[u] - 1
 	lv := e.live
-	for k, nb := range e.nbrs[u] {
-		if d[nb.v] != du {
+	for id := base; id < end; id++ {
+		v := int(e.nbrV[id])
+		if d[v] != du {
 			continue
 		}
-		id := base + int32(k)
 		if lv != nil && lv.edgeDown[id] {
 			continue
 		}
-		if int64(edgeUsed[id]) >= nb.mult {
+		if int64(edgeUsed[id]) >= e.nbrMult[id] {
 			continue
 		}
 		count++
 		if vr.intn(count) == 0 {
-			best = nb.v
+			best = v
 			bestEdge = id
 		}
 	}
+	return best, bestEdge
+}
+
+// pickHopHypercube is pickHop for the fault-free implicit hypercube: the
+// downhill neighbours are the flips of the bits where u and dst differ,
+// enumerated in ascending vertex-id order (set bits high-to-low, then clear
+// bits low-to-high), with edge ids computed from bit ranks — no adjacency
+// memory touched at all.
+func (e *Engine) pickHopHypercube(u, dst int, edgeUsed []int32, vr *vrand) (int, int32) {
+	base := int32(u * e.gDeg)
+	diff := uint(u ^ dst)
+	pu := bits.OnesCount(uint(u))
+	best := -1
+	var bestEdge int32 = -1
+	count := 0
+	// Differing set bits, high to low: neighbours below u, ascending.
+	for d := diff & uint(u); d != 0; {
+		i := bits.Len(d) - 1
+		d &^= 1 << i
+		rank := pu - 1 - bits.OnesCount(uint(u)&(1<<i-1))
+		id := base + int32(rank)
+		if edgeUsed[id] < 1 {
+			count++
+			if vr.intn(count) == 0 {
+				best = u ^ (1 << i)
+				bestEdge = id
+			}
+		}
+	}
+	// Differing clear bits, low to high: neighbours above u, ascending.
+	for d := diff &^ uint(u); d != 0; {
+		i := bits.TrailingZeros(d)
+		d &^= 1 << i
+		rank := pu + i - bits.OnesCount(uint(u)&(1<<i-1))
+		id := base + int32(rank)
+		if edgeUsed[id] < 1 {
+			count++
+			if vr.intn(count) == 0 {
+				best = u ^ (1 << i)
+				bestEdge = id
+			}
+		}
+	}
+	return best, bestEdge
+}
+
+// pickHopGrid is pickHop for the fault-free implicit mesh and torus. The
+// mesh enumerates existing neighbours in closed ascending order
+// (minus-steps by descending dimension, then plus-steps by ascending
+// dimension); the torus, whose wraparound breaks that monotonicity,
+// gathers its 2·dim neighbours into a stack array and insertion-sorts.
+// Rank slots count every existing neighbour, downhill or not, matching the
+// generator's edge-id assignment.
+func (e *Engine) pickHopGrid(u, dst int, edgeUsed []int32, vr *vrand) (int, int32) {
+	dim, side := e.gDim, e.gSide
+	var cu, cv [topology.MaxImplicitDim]int
+	x, y := u, dst
+	for d := 0; d < dim; d++ {
+		cu[d] = x % side
+		x /= side
+		cv[d] = y % side
+		y /= side
+	}
+	base := int32(u * e.gDeg)
+	best := -1
+	var bestEdge int32 = -1
+	count := 0
+	if e.gk == geomMesh {
+		slot := int32(0)
+		for d := dim - 1; d >= 0; d-- {
+			if cu[d] == 0 {
+				continue
+			}
+			if cu[d] > cv[d] {
+				id := base + slot
+				if edgeUsed[id] < 1 {
+					count++
+					if vr.intn(count) == 0 {
+						best = u - e.gStride[d]
+						bestEdge = id
+					}
+				}
+			}
+			slot++
+		}
+		for d := 0; d < dim; d++ {
+			if cu[d] == side-1 {
+				continue
+			}
+			if cu[d] < cv[d] {
+				id := base + slot
+				if edgeUsed[id] < 1 {
+					count++
+					if vr.intn(count) == 0 {
+						best = u + e.gStride[d]
+						bestEdge = id
+					}
+				}
+			}
+			slot++
+		}
+		return best, bestEdge
+	}
+	// Torus: both directions can be downhill in one dimension (even side,
+	// antipodal coordinate), so each candidate carries its own flag.
+	type cand struct {
+		v    int32
+		down bool
+	}
+	var cands [2 * topology.MaxImplicitDim]cand
+	k := 0
+	for d := 0; d < dim; d++ {
+		dd := wrapDelta(cu[d]-cv[d], side)
+		nc, v := cu[d]-1, u-e.gStride[d]
+		if cu[d] == 0 {
+			nc, v = side-1, u+(side-1)*e.gStride[d]
+		}
+		cands[k] = cand{int32(v), wrapDelta(nc-cv[d], side) == dd-1}
+		k++
+		nc, v = cu[d]+1, u+e.gStride[d]
+		if cu[d] == side-1 {
+			nc, v = 0, u-(side-1)*e.gStride[d]
+		}
+		cands[k] = cand{int32(v), wrapDelta(nc-cv[d], side) == dd-1}
+		k++
+	}
+	for i := 1; i < k; i++ {
+		c := cands[i]
+		j := i - 1
+		for j >= 0 && cands[j].v > c.v {
+			cands[j+1] = cands[j]
+			j--
+		}
+		cands[j+1] = c
+	}
+	for slot := 0; slot < k; slot++ {
+		if !cands[slot].down {
+			continue
+		}
+		id := base + int32(slot)
+		if edgeUsed[id] >= 1 {
+			continue
+		}
+		count++
+		if vr.intn(count) == 0 {
+			best = int(cands[slot].v)
+			bestEdge = id
+		}
+	}
+	return best, bestEdge
+}
+
+// wrapDelta is the per-dimension torus distance of a coordinate difference.
+func wrapDelta(delta, side int) int {
+	if delta < 0 {
+		delta = -delta
+	}
+	if side-delta < delta {
+		delta = side - delta
+	}
+	return delta
+}
+
+// pickHopGeomLive is pickHop for implicit machines under faults: the masked
+// BFS field replaces the oracle and dead wires are skipped, with neighbours
+// enumerated through the generator in the canonical ascending order.
+func (e *Engine) pickHopGeomLive(u, dst int, edgeUsed []int32, vr *vrand) (int, int32) {
+	d := e.dist(dst)
+	du := d[u] - 1
+	lv := e.live
+	base := int32(u * e.gDeg)
+	best := -1
+	var bestEdge int32 = -1
+	count := 0
+	e.geom.VisitNeighbors(u, func(slot, v int) {
+		if d[v] != du {
+			return
+		}
+		id := base + int32(slot)
+		if lv.edgeDown[id] {
+			return
+		}
+		if edgeUsed[id] >= 1 {
+			return
+		}
+		count++
+		if vr.intn(count) == 0 {
+			best = v
+			bestEdge = id
+		}
+	})
 	return best, bestEdge
 }

@@ -14,8 +14,8 @@ import (
 // white-box side of the conservation invariant.
 func queuedPackets(s *Sim) int {
 	total := 0
-	for _, q := range s.queues {
-		total += len(q)
+	for u := range s.vq {
+		total += s.queueLen(u)
 	}
 	return total
 }

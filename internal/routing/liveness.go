@@ -43,12 +43,14 @@ type liveState struct {
 // EnableFaults switches the engine into liveness-aware routing. An engine
 // with faults enabled belongs to the Sim driving it: the fault mask is
 // engine state, so do not share it across concurrent or interleaved sims.
+// Works on both representations; an implicit machine under faults swaps
+// its analytic oracle for masked BFS fields over the generated adjacency.
 func (e *Engine) EnableFaults() {
 	if e.live == nil {
 		e.live = &liveState{
 			edgeDown: make([]bool, e.numEdges),
-			nodeDown: make([]bool, len(e.nbrs)),
-			distPtrs: make([]atomic.Pointer[[]int], len(e.nbrs)),
+			nodeDown: make([]bool, e.numVerts),
+			distPtrs: make([]atomic.Pointer[[]int], e.numVerts),
 		}
 	}
 }
@@ -71,10 +73,19 @@ func (e *Engine) DownCounts() (edges, nodes int) {
 
 // dirEdgeID returns the dense id of directed edge u->v, or -1 if absent.
 func (e *Engine) dirEdgeID(u, v int) int32 {
-	base := e.edgeBase[u]
-	for k, nb := range e.nbrs[u] {
-		if nb.v == v {
-			return base + int32(k)
+	if e.geom != nil {
+		found := int32(-1)
+		base := int32(u * e.gDeg)
+		e.geom.VisitNeighbors(u, func(slot, nb int) {
+			if nb == v {
+				found = base + int32(slot)
+			}
+		})
+		return found
+	}
+	for id := e.edgeBase[u]; id < e.edgeBase[u+1]; id++ {
+		if int(e.nbrV[id]) == v {
+			return id
 		}
 	}
 	return -1
@@ -123,17 +134,20 @@ func (e *Engine) ApplyFaultEvent(ev topology.FaultEvent) {
 			lv.downNodes++
 		}
 	}
-	lv.distPtrs = make([]atomic.Pointer[[]int], len(e.nbrs))
+	lv.distPtrs = make([]atomic.Pointer[[]int], e.numVerts)
 }
 
 // liveDist returns the BFS distance field to dst over the live subgraph:
 // masked wires and vertices do not exist, unreachable vertices get -1.
+// Works on both representations — explicit machines walk the CSR arrays,
+// implicit ones enumerate neighbours through the generator with the same
+// slot-derived edge ids the hop fast paths use.
 func (e *Engine) liveDist(dst int) []int {
 	lv := e.live
 	if p := lv.distPtrs[dst].Load(); p != nil {
 		return *p
 	}
-	n := len(e.nbrs)
+	n := e.numVerts
 	d := make([]int, n)
 	for i := range d {
 		d[i] = -1
@@ -142,16 +156,32 @@ func (e *Engine) liveDist(dst int) []int {
 		queue := make([]int, 0, n)
 		d[dst] = 0
 		queue = append(queue, dst)
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
-			base := e.edgeBase[u]
-			for k, nb := range e.nbrs[u] {
-				if d[nb.v] >= 0 || lv.edgeDown[base+int32(k)] || lv.nodeDown[nb.v] {
-					continue
+		if e.geom != nil {
+			var u int
+			visit := func(slot, v int) {
+				if d[v] >= 0 || lv.edgeDown[int32(u*e.gDeg+slot)] || lv.nodeDown[v] {
+					return
 				}
-				d[nb.v] = d[u] + 1
-				queue = append(queue, nb.v)
+				d[v] = d[u] + 1
+				queue = append(queue, v)
+			}
+			for len(queue) > 0 {
+				u = queue[0]
+				queue = queue[1:]
+				e.geom.VisitNeighbors(u, visit)
+			}
+		} else {
+			for len(queue) > 0 {
+				u := queue[0]
+				queue = queue[1:]
+				for id := e.edgeBase[u]; id < e.edgeBase[u+1]; id++ {
+					v := int(e.nbrV[id])
+					if d[v] >= 0 || lv.edgeDown[id] || lv.nodeDown[v] {
+						continue
+					}
+					d[v] = d[u] + 1
+					queue = append(queue, v)
+				}
 			}
 		}
 	}
@@ -234,24 +264,38 @@ func (s *Sim) applyFaultEvents() {
 
 // reapDeadPackets drops every packet queued at a dead processor and every
 // packet whose final destination died; Valiant packets that lost only
-// their intermediate are retargeted at their destination instead.
+// their intermediate are retargeted at their destination instead. Queues
+// are filtered in place with the same chunk-cursor compaction move uses.
+// Emptied vertices stay on the active list until the next move phase
+// drains them (move tolerates n == 0 entries).
 func (s *Sim) reapDeadPackets() {
 	lv := s.eng.live
 	for _, sh := range s.shards {
 		for _, u := range sh.active {
-			q := s.queues[u]
-			if len(q) == 0 {
+			q := &s.vq[u]
+			qn := int(q.n)
+			if qn == 0 {
 				continue
 			}
 			if lv.nodeDown[u] {
 				// A dead processor loses its queue wholesale.
-				s.dropped += len(q)
-				s.droppedTick += len(q)
-				s.queues[u] = q[:0]
+				s.dropped += qn
+				s.droppedTick += qn
+				sh.qfree(q)
 				continue
 			}
-			kept := q[:0]
-			for _, p := range q {
+			rci, wci := q.head, q.head
+			rC, wC := sh.chunk(rci), sh.chunk(rci)
+			ri, wi := 0, 0
+			kept := 0
+			for i := 0; i < qn; i++ {
+				if ri == qChunkCap {
+					rci = rC.next
+					rC = sh.chunk(rci)
+					ri = 0
+				}
+				p := rC.p[ri]
+				ri++
 				if lv.nodeDown[p.finalDst] {
 					s.dropped++
 					s.droppedTick++
@@ -263,9 +307,24 @@ func (s *Sim) reapDeadPackets() {
 					p.phase1 = false
 					p.dst = p.finalDst
 				}
-				kept = append(kept, p)
+				if wi == qChunkCap {
+					wci = wC.next
+					wC = sh.chunk(wci)
+					wi = 0
+				}
+				wC.p[wi] = p
+				wi++
+				kept++
 			}
-			s.queues[u] = kept
+			q.n = int32(kept)
+			if kept == 0 {
+				sh.qfree(q)
+			} else {
+				fc := wC.next
+				wC.next = -1
+				q.tail = wci
+				sh.freeChain(fc)
+			}
 		}
 	}
 }

@@ -1,19 +1,36 @@
 package routing
 
-import "slices"
+import (
+	"runtime"
+	"slices"
+	"sync/atomic"
+)
 
 // Intra-sim sharding. The vertex set is partitioned across shards; each
-// tick runs two barrier-separated phases:
+// tick every shard runs two phases back to back:
 //
-//	move:   every shard serves its own vertices' queues (edge capacity,
-//	        service discipline, fault retry logic) and posts each moved
-//	        packet to the mailbox outbox[destination shard].
-//	arrive: every shard merges its inbound mailboxes and applies the
-//	        arrivals to its own queues (or counts deliveries).
+//	move:   serve the shard's own vertices' queues (edge capacity, service
+//	        discipline, fault retry logic), deliver packets that reach
+//	        their final destination, and post the rest to the mailbox
+//	        outbox[destination shard]; then publish the shard's epoch.
+//	arrive: spin until every in-neighbour shard's epoch reaches this tick,
+//	        then merge the inbound mailboxes in sender order and push the
+//	        arrivals into the shard's own queues.
 //
-// Safety rests on ownership: queues[u], inActive[u], and the edge slots of
-// edges *out of* u (edgeUsed, stats.edgeTotals) are touched only by u's
-// owning shard, and phase barriers separate mailbox writes from reads.
+// There is no global move/arrive barrier: the epoch counters order each
+// pair of neighbouring shards individually, so a shard whose in-neighbours
+// finished early proceeds while distant shards are still moving. The
+// driver joins all shards only at the end of the tick (to fold counters
+// and let the next tick's injections land safely).
+//
+// Safety rests on ownership plus the epoch protocol: vq[u], inActive[u],
+// the chunk arena, and the edge slots of edges *out of* u (edgeUsed,
+// stats.edgeTotals) are touched only by u's owning shard; a mailbox
+// shards[j].outbox[i] is written only during j's move and read only
+// during i's arrive, which the atomic epoch store/load pair orders. A
+// shard only ever touches the mailboxes of shards it shares a graph edge
+// with (srcShards/outNbrs, computed once), so no slice header is ever
+// accessed by a non-synchronized pair of shards.
 //
 // Determinism rests on two rules. First, randomness is positional: every
 // hop decision draws from a (tick, vertex)-keyed stream (vrand.go), so no
@@ -22,28 +39,69 @@ import "slices"
 // mailbox is sender-sorted, and the arrive phase k-way-merges its inboxes
 // by sender id — reproducing exactly the order a serial sweep in ascending
 // vertex order would have produced, at every shard count and partition.
+// Delivery counters and latency histograms are order-independent
+// (sums and bucket counts), which is why final-destination deliveries can
+// be counted at the sender shard during move without crossing a mailbox.
 
-// arrival is one packet crossing the move->arrive barrier, tagged with the
-// vertex that forwarded it so the merge can restore canonical order.
+// arrival is one packet crossing a shard boundary, tagged with the vertex
+// that forwarded it so the merge can restore canonical order.
 type arrival struct {
 	sender int32
 	p      simPacket
 }
 
+// shardEpoch is one shard's published tick counter, padded to a cache line
+// so neighbouring shards' spins do not false-share.
+type shardEpoch struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Queue chunk arena: per-vertex queues are chains of fixed-size chunks
+// drawn from a per-shard pool, so steady-state queue churn allocates
+// nothing and the pool grows with the shard's in-flight high-water mark,
+// not with per-vertex maxima.
+const (
+	qChunkCap     = 16
+	chunksPerPage = 1024
+	pageShift     = 10 // log2(chunksPerPage)
+)
+
+type qChunk struct {
+	next int32 // next chunk id in the chain or free list; -1 ends
+	p    [qChunkCap]simPacket
+}
+
 // simShard owns a subset of the vertices. All mutable state below is
-// private to the shard's phase functions except the outboxes (written in
-// move, read by every shard in arrive) and the cumulative histograms
-// (merged by the driver between ticks).
+// private to the shard's phase functions except the outboxes (published
+// via the epoch protocol) and the cumulative histograms (merged by the
+// driver between ticks).
 type simShard struct {
 	id    int
 	owned int // number of vertices assigned to this shard
 
-	active   []int   // owned vertices with queued packets
-	touched  []int32 // edge-usage slots dirtied this tick
-	sortKeys []int   // FarthestFirst scratch
+	active    []int // owned vertices with queued packets; prefix [:sortedLen] sorted
+	sortedLen int   // length of the sorted prefix of active
+
+	touched  []int32     // edge-usage slots dirtied this tick
+	sortKeys []int       // FarthestFirst scratch
+	sortBuf  []simPacket // FarthestFirst gather scratch
+	mergeBuf []int       // active-list merge scratch
+
+	// Chunk arena for the owned vertices' queues.
+	pages    [][]qChunk
+	freeHead int32 // head of the free-chunk list; -1 when empty
 
 	outbox [][]arrival // per destination shard, refilled every move phase
 	heads  []int       // arrive-phase merge cursors, one per source shard
+
+	// Shard topology, computed once from the machine graph: which shards
+	// this one can receive from (ascending, includes self), which it can
+	// send to (ascending, includes self), and which epochs arrive must
+	// wait on (srcShards minus self).
+	srcShards []int32
+	outNbrs   []int32
+	waitFor   []int32
 
 	// Cumulative per-shard statistics, merged on demand.
 	latHist  Histogram // delivery latencies of packets delivered here
@@ -51,7 +109,7 @@ type simShard struct {
 	maxQueue int
 
 	// Per-tick deltas, folded into the Sim's global counters by Step after
-	// the arrive barrier and then reset.
+	// the tick and then reset.
 	tickDelivered int
 	tickDropped   int
 	tickRetried   int
@@ -59,122 +117,255 @@ type simShard struct {
 	tickLatency   int64
 }
 
-func newSimShard(id, shards, owned int) *simShard {
+func newSimShard(id, owned int) *simShard {
 	return &simShard{
-		id:     id,
-		owned:  owned,
-		outbox: make([][]arrival, shards),
-		heads:  make([]int, shards),
+		id:       id,
+		owned:    owned,
+		freeHead: -1,
 	}
+}
+
+// chunk resolves a chunk id in the shard's arena.
+func (sh *simShard) chunk(id int32) *qChunk {
+	return &sh.pages[id>>pageShift][id&(chunksPerPage-1)]
+}
+
+// allocChunk pops a free chunk, growing the arena by a page when empty.
+func (sh *simShard) allocChunk() int32 {
+	id := sh.freeHead
+	if id < 0 {
+		base := int32(len(sh.pages) << pageShift)
+		page := make([]qChunk, chunksPerPage)
+		for i := range page {
+			page[i].next = base + int32(i) + 1
+		}
+		page[chunksPerPage-1].next = -1
+		sh.pages = append(sh.pages, page)
+		id = base
+	}
+	c := sh.chunk(id)
+	sh.freeHead = c.next
+	c.next = -1
+	return id
+}
+
+// freeChain returns a whole chunk chain to the free list.
+func (sh *simShard) freeChain(id int32) {
+	if id < 0 {
+		return
+	}
+	last := id
+	for c := sh.chunk(last); c.next >= 0; c = sh.chunk(last) {
+		last = c.next
+	}
+	sh.chunk(last).next = sh.freeHead
+	sh.freeHead = id
+}
+
+// qpush appends p to queue q (owned by this shard). The dense-chain
+// invariant makes the tail's fill level n mod cap.
+func (sh *simShard) qpush(q *vqueue, p simPacket) {
+	if q.n == 0 {
+		nc := sh.allocChunk()
+		q.head, q.tail = nc, nc
+	} else if q.n%qChunkCap == 0 {
+		nc := sh.allocChunk()
+		sh.chunk(q.tail).next = nc
+		q.tail = nc
+	}
+	sh.chunk(q.tail).p[q.n%qChunkCap] = p
+	q.n++
+}
+
+// qfree empties queue q, returning its chunks to the arena.
+func (sh *simShard) qfree(q *vqueue) {
+	sh.freeChain(q.head)
+	q.head, q.tail, q.n = -1, -1, 0
+}
+
+// mergeActive restores the active list's sorted order: vertices activated
+// since the last move sit in an unsorted suffix, which is sorted and
+// back-merged with the sorted prefix — O(new + shifted) instead of
+// re-sorting the whole list every tick.
+func (sh *simShard) mergeActive() {
+	a := sh.active
+	if sh.sortedLen == len(a) {
+		return
+	}
+	suffix := a[sh.sortedLen:]
+	slices.Sort(suffix)
+	if sh.sortedLen == 0 || a[sh.sortedLen-1] < suffix[0] {
+		sh.sortedLen = len(a)
+		return
+	}
+	buf := append(sh.mergeBuf[:0], suffix...)
+	i, j, k := sh.sortedLen-1, len(buf)-1, len(a)-1
+	for j >= 0 {
+		if i >= 0 && a[i] > buf[j] {
+			a[k] = a[i]
+			i--
+		} else {
+			a[k] = buf[j]
+			j--
+		}
+		k--
+	}
+	sh.mergeBuf = buf
+	sh.sortedLen = len(a)
 }
 
 // move serves every active owned vertex in ascending id order: clears the
 // previous tick's edge usage, applies the service discipline and per-wire
-// capacity, and posts moved packets to the destination shard's mailbox.
+// capacity, counts packets that reached their final destination as
+// delivered, and posts the other moved packets to the destination shard's
+// mailbox. Queue chains are compacted in place (the write cursor never
+// passes the read cursor).
 func (sh *simShard) move(s *Sim) {
 	for _, id := range sh.touched {
 		s.edgeUsed[id] = 0
 	}
 	sh.touched = sh.touched[:0]
-	for i := range sh.outbox {
-		sh.outbox[i] = sh.outbox[i][:0]
+	for _, j := range sh.outNbrs {
+		sh.outbox[j] = sh.outbox[j][:0]
 	}
 	// Canonical service order: ascending vertex id. Fairness across ticks
 	// comes from the positional randomness of the hop choices, not from
 	// shuffling the service order.
-	slices.Sort(sh.active)
+	sh.mergeActive()
 	eng := s.eng
 	fs := s.faults
 	stats := s.stats
+	caps := eng.caps
+	farthest := eng.Discipline == FarthestFirst
+	now := s.now
 	for _, u := range sh.active {
-		q := s.queues[u]
-		if len(q) > sh.maxQueue {
-			sh.maxQueue = len(q)
+		q := &s.vq[u]
+		qn := int(q.n)
+		if qn == 0 {
+			continue // reaped this tick; drained from active below
+		}
+		if qn > sh.maxQueue {
+			sh.maxQueue = qn
 		}
 		vr := s.vertexRand(u)
-		if eng.Discipline == FarthestFirst && len(q) > 1 {
+		if farthest && qn > 1 {
 			sh.sortFarthestFirst(s, u, q)
 		}
-		capLeft := eng.M.Cap(u)
-		kept := q[:0]
-		for qi, p := range q {
-			if capLeft == 0 {
-				// Vertex transmission budget spent; everything else waits.
-				kept = append(kept, q[qi:]...)
-				break
+		var capLeft int64 = -1
+		if caps != nil {
+			capLeft = caps[u]
+		}
+		rci, wci := q.head, q.head
+		rC, wC := sh.chunk(rci), sh.chunk(rci)
+		ri, wi := 0, 0
+		kept := 0
+		for i := 0; i < qn; i++ {
+			if ri == qChunkCap {
+				rci = rC.next
+				rC = sh.chunk(rci)
+				ri = 0
 			}
-			if fs != nil {
-				if p.sleepUntil > s.now {
-					kept = append(kept, p) // backing off
-					continue
-				}
-				if s.now-p.born > fs.opts.TTL {
-					sh.tickDropped++
-					continue
-				}
-			}
-			h, edge := eng.pickHop(u, p.dst, s.edgeUsed, &vr)
-			if h < 0 {
-				if fs != nil && eng.distance(u, p.dst) < 0 {
-					// Stranded: no live path to the current target.
-					if p.phase1 {
-						// The Valiant intermediate became unreachable; try
-						// the final destination directly.
-						p.phase1 = false
-						p.dst = p.finalDst
-						kept = append(kept, p)
-						continue
-					}
-					p.retries++
-					sh.tickRetried++
-					if int(p.retries) > fs.opts.RetryBudget {
+			p := rC.p[ri]
+			ri++
+			if capLeft != 0 {
+				keep := false
+				if fs != nil {
+					if int(p.sleepUntil) > now {
+						keep = true // backing off
+					} else if now-int(p.born) > fs.opts.TTL {
 						sh.tickDropped++
 						continue
 					}
-					p.sleepUntil = s.now + backoffTicks(fs.opts.BackoffBase, p.retries)
-					kept = append(kept, p)
-					continue
 				}
-				// All downhill wires saturated this tick; wait in place.
-				kept = append(kept, p)
-				continue
+				if !keep {
+					h, edge := eng.pickHop(int(p.at), int(p.dst), s.edgeUsed, &vr)
+					if h >= 0 {
+						if s.edgeUsed[edge] == 0 {
+							sh.touched = append(sh.touched, edge)
+						}
+						s.edgeUsed[edge]++
+						if stats != nil {
+							stats.edgeTotals[edge]++
+						}
+						if capLeft > 0 {
+							capLeft--
+						}
+						p.at = int32(h)
+						sh.tickHops++
+						if p.dst == p.at && !p.phase1 {
+							// Delivered: counted here at the sender shard —
+							// the counters and histogram buckets it feeds
+							// are order-independent, so this matches the
+							// serial accounting exactly.
+							sh.tickDelivered++
+							lat := now - int(p.born)
+							sh.tickLatency += int64(lat)
+							sh.latHist.Record(lat)
+							continue
+						}
+						dst := s.shardOf[h]
+						sh.outbox[dst] = append(sh.outbox[dst], arrival{sender: int32(u), p: p})
+						continue
+					}
+					if fs != nil && eng.distance(u, int(p.dst)) < 0 {
+						// Stranded: no live path to the current target.
+						if p.phase1 {
+							// The Valiant intermediate became unreachable;
+							// try the final destination directly.
+							p.phase1 = false
+							p.dst = p.finalDst
+						} else {
+							p.retries++
+							sh.tickRetried++
+							if int(p.retries) > fs.opts.RetryBudget {
+								sh.tickDropped++
+								continue
+							}
+							p.sleepUntil = int32(now + backoffTicks(fs.opts.BackoffBase, p.retries))
+						}
+					}
+					// Otherwise: all downhill wires saturated; wait in place.
+				}
 			}
-			if s.edgeUsed[edge] == 0 {
-				sh.touched = append(sh.touched, edge)
+			// Keep p: compact it to the write cursor.
+			if wi == qChunkCap {
+				wci = wC.next
+				wC = sh.chunk(wci)
+				wi = 0
 			}
-			s.edgeUsed[edge]++
-			if stats != nil {
-				stats.edgeTotals[edge]++
-			}
-			if capLeft > 0 {
-				capLeft--
-			}
-			p.at = h
-			sh.tickHops++
-			dst := s.shardOf[h]
-			sh.outbox[dst] = append(sh.outbox[dst], arrival{sender: int32(u), p: p})
+			wC.p[wi] = p
+			wi++
+			kept++
 		}
-		s.queues[u] = kept
+		q.n = int32(kept)
+		if kept == 0 {
+			sh.qfree(q)
+		} else if fc := wC.next; true {
+			wC.next = -1
+			q.tail = wci
+			sh.freeChain(fc)
+		}
 	}
-	// Drop drained vertices from the active list.
+	// Drop drained vertices from the active list; the survivors keep their
+	// sorted order.
 	na := sh.active[:0]
 	for _, u := range sh.active {
-		if len(s.queues[u]) > 0 {
+		if s.vq[u].n > 0 {
 			na = append(na, u)
 		} else {
 			s.inActive[u] = false
 		}
 	}
 	sh.active = na
+	sh.sortedLen = len(na)
 }
 
 // arrive merges this shard's inbound mailboxes by ascending sender id and
-// applies each arrival: delivery (or Valiant phase switch) when the packet
-// reached its target, a queue push otherwise. Each mailbox is already
-// sender-sorted (move serves vertices in ascending order), so a k-way merge
-// restores the canonical global order.
+// pushes each arrival (or applies the Valiant phase switch). Each mailbox
+// is already sender-sorted (move serves vertices in ascending order), so a
+// k-way merge over the in-neighbour shards restores the canonical global
+// order.
 func (sh *simShard) arrive(s *Sim) {
-	shards := s.shards
 	heads := sh.heads
 	for i := range heads {
 		heads[i] = 0
@@ -182,8 +373,8 @@ func (sh *simShard) arrive(s *Sim) {
 	for {
 		src := -1
 		var bestSender int32
-		for i := range shards {
-			ob := shards[i].outbox[sh.id]
+		for i, sj := range sh.srcShards {
+			ob := s.shards[sj].outbox[sh.id]
 			if heads[i] < len(ob) && (src < 0 || ob[heads[i]].sender < bestSender) {
 				src = i
 				bestSender = ob[heads[i]].sender
@@ -194,7 +385,7 @@ func (sh *simShard) arrive(s *Sim) {
 		}
 		// A sender's packets sit consecutively in exactly one mailbox;
 		// consume the whole run before rescanning.
-		ob := shards[src].outbox[sh.id]
+		ob := s.shards[sh.srcShards[src]].outbox[sh.id]
 		h := heads[src]
 		for h < len(ob) && ob[h].sender == bestSender {
 			sh.handleArrival(s, ob[h].p)
@@ -216,8 +407,11 @@ func (sh *simShard) handleArrival(s *Sim, p simPacket) {
 			s.push(p)
 			return
 		}
+		// Final-destination deliveries are counted at the sender shard
+		// during move and never cross a mailbox; this branch only defends
+		// against a future caller.
 		sh.tickDelivered++
-		lat := s.now - p.born
+		lat := s.now - int(p.born)
 		sh.tickLatency += int64(lat)
 		sh.latHist.Record(lat)
 		return
@@ -229,79 +423,94 @@ func (sh *simShard) handleArrival(s *Sim, p simPacket) {
 // queue length for active vertices, zero for the rest.
 func (sh *simShard) sampleQueues(s *Sim) {
 	for _, u := range sh.active {
-		sh.queueOcc.Record(len(s.queues[u]))
+		sh.queueOcc.Record(int(s.vq[u].n))
 	}
 	for i := len(sh.active); i < sh.owned; i++ {
 		sh.queueOcc.Record(0)
 	}
 }
 
-// sortFarthestFirst stably sorts q by descending remaining distance
-// (insertion sort on a parallel key slice — queues are short and mostly
-// sorted from the previous tick).
-func (sh *simShard) sortFarthestFirst(s *Sim, u int, q []simPacket) {
-	keys := sh.sortKeys[:0]
-	for _, p := range q {
-		keys = append(keys, s.eng.distance(u, p.dst))
+// sortFarthestFirst stably sorts vertex u's queue by descending remaining
+// distance: the chain is gathered into a scratch slice, insertion-sorted
+// on a parallel key slice (queues are short and mostly sorted from the
+// previous tick), and scattered back into the same chunks.
+func (sh *simShard) sortFarthestFirst(s *Sim, u int, q *vqueue) {
+	n := int(q.n)
+	buf := sh.sortBuf[:0]
+	for ci, got := q.head, 0; got < n; ci = sh.chunk(ci).next {
+		c := sh.chunk(ci)
+		k := qChunkCap
+		if n-got < k {
+			k = n - got
+		}
+		buf = append(buf, c.p[:k]...)
+		got += k
 	}
-	for i := 1; i < len(q); i++ {
-		p, k := q[i], keys[i]
+	keys := sh.sortKeys[:0]
+	for i := range buf {
+		keys = append(keys, s.eng.distance(u, int(buf[i].dst)))
+	}
+	for i := 1; i < n; i++ {
+		p, k := buf[i], keys[i]
 		j := i - 1
 		for j >= 0 && keys[j] < k {
-			q[j+1], keys[j+1] = q[j], keys[j]
+			buf[j+1], keys[j+1] = buf[j], keys[j]
 			j--
 		}
-		q[j+1], keys[j+1] = p, k
+		buf[j+1], keys[j+1] = p, k
 	}
-	sh.sortKeys = keys
+	for ci, put := q.head, 0; put < n; ci = sh.chunk(ci).next {
+		c := sh.chunk(ci)
+		k := qChunkCap
+		if n-put < k {
+			k = n - put
+		}
+		copy(c.p[:k], buf[put:put+k])
+		put += k
+	}
+	sh.sortBuf, sh.sortKeys = buf, keys
 }
 
 // Worker plumbing: shards beyond the first get a long-lived goroutine fed
-// phase commands over a channel, so the steady-state tick loop spawns
-// nothing. Shard 0 always runs inline on the driver.
-
-const (
-	phaseMove = iota
-	phaseArrive
-)
+// tick commands over a channel, so the steady-state tick loop spawns
+// nothing. Shard 0 always runs inline on the driver. One dispatch per tick
+// (not per phase): the move->arrive ordering between shards is enforced by
+// the epoch counters, not by channel round-trips.
 
 type shardWorker struct {
-	cmd  chan int
+	cmd  chan struct{}
 	done chan struct{}
 }
 
 func (s *Sim) startWorkers() {
 	s.workers = make([]*shardWorker, len(s.shards)-1)
 	for i := range s.workers {
-		w := &shardWorker{cmd: make(chan int), done: make(chan struct{})}
+		w := &shardWorker{cmd: make(chan struct{}), done: make(chan struct{})}
 		s.workers[i] = w
 		sh := s.shards[i+1]
 		go func() {
-			for ph := range w.cmd {
-				s.execPhase(sh, ph)
+			for range w.cmd {
+				s.tickShard(sh)
 				w.done <- struct{}{}
 			}
 		}()
 	}
 }
 
-// runPhase fans one phase out to every shard and waits for all of them:
-// the per-tick barrier. The channel synchronization orders each shard's
-// move-phase mailbox writes before every other shard's arrive-phase reads.
-func (s *Sim) runPhase(ph int) {
-	for _, w := range s.workers {
-		w.cmd <- ph
+// tickShard runs one shard's full tick: move, publish the shard's epoch
+// (the release point for its outboxes), wait for the in-neighbour shards'
+// epochs (the acquire point for theirs), arrive. The atomic store/load
+// pairs carry the happens-before edges a global barrier used to provide —
+// but only between shards that actually exchange packets.
+func (s *Sim) tickShard(sh *simShard) {
+	sh.move(s)
+	tick := int64(s.now)
+	s.epochs[sh.id].v.Store(tick)
+	for _, j := range sh.waitFor {
+		ep := &s.epochs[j]
+		for ep.v.Load() < tick {
+			runtime.Gosched()
+		}
 	}
-	s.execPhase(s.shards[0], ph)
-	for _, w := range s.workers {
-		<-w.done
-	}
-}
-
-func (s *Sim) execPhase(sh *simShard, ph int) {
-	if ph == phaseMove {
-		sh.move(s)
-	} else {
-		sh.arrive(s)
-	}
+	sh.arrive(s)
 }

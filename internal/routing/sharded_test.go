@@ -41,14 +41,24 @@ func shardedRun(t *testing.T, m *topology.Machine, shards int, faults bool) (Ope
 	return res, buf.Bytes()
 }
 
-// ISSUE acceptance: sharded and serial sims produce identical
-// OpenLoopResult and snapshot JSON on all Table 4 machines at shard counts
-// 1, 2, 4, 7, with and without a fault schedule.
+// ISSUE acceptance: the full equivalence matrix. For every Table 4
+// machine, the serial explicit run is the reference; every shard count in
+// {2, 4, 7}, every available representation (explicit CSR, and the
+// implicit generator for hypercube/mesh/torus machines), with and without
+// a fault schedule, must reproduce its OpenLoopResult and snapshot JSON
+// byte-for-byte. The implicit twin is a genuinely independent adjacency
+// implementation (bit-trick and coordinate fast paths instead of CSR
+// loops), so agreement here is the representation contract, not a
+// tautology.
 func TestShardedEquivalence(t *testing.T) {
 	rng := rand.New(rand.NewSource(41))
 	for _, m := range table4Machines(rng) {
 		m := m
 		t.Run(m.Name, func(t *testing.T) {
+			reps := []*topology.Machine{m}
+			if tw, ok := topology.ImplicitTwin(m); ok && tw != m {
+				reps = append(reps, tw)
+			}
 			for _, faults := range []bool{false, true} {
 				wantRes, wantSnap := shardedRun(t, m, 1, faults)
 				if faults && wantRes.Dropped == 0 && wantRes.Retried == 0 {
@@ -56,18 +66,69 @@ func TestShardedEquivalence(t *testing.T) {
 					// where the schedule had no effect at all.
 					t.Logf("%s: fault schedule caused no drops/retries", m.Name)
 				}
-				for _, shards := range []int{2, 4, 7} {
-					gotRes, gotSnap := shardedRun(t, m, shards, faults)
-					if gotRes != wantRes {
-						t.Errorf("faults=%v shards=%d: OpenLoopResult diverged\nserial:  %+v\nsharded: %+v",
-							faults, shards, wantRes, gotRes)
+				for ri, rep := range reps {
+					implicit := rep.Implicit != nil
+					shardCounts := []int{2, 4, 7}
+					if ri > 0 {
+						// The implicit twin must also match at one shard.
+						shardCounts = []int{1, 2, 4, 7}
 					}
-					if !bytes.Equal(gotSnap, wantSnap) {
-						t.Errorf("faults=%v shards=%d: snapshot JSON diverged from serial", faults, shards)
+					for _, shards := range shardCounts {
+						gotRes, gotSnap := shardedRun(t, rep, shards, faults)
+						if gotRes != wantRes {
+							t.Errorf("implicit=%v faults=%v shards=%d: OpenLoopResult diverged\nserial explicit: %+v\ngot:             %+v",
+								implicit, faults, shards, wantRes, gotRes)
+						}
+						if !bytes.Equal(gotSnap, wantSnap) {
+							t.Errorf("implicit=%v faults=%v shards=%d: snapshot JSON diverged from serial explicit",
+								implicit, faults, shards)
+						}
 					}
 				}
 			}
 		})
+	}
+}
+
+// TestImplicitEquivalenceLargeSmoke drives a machine too big for the full
+// matrix — an order-14 hypercube (16,384 vertices) — through one sharded
+// implicit run against the serial explicit reference, and builds (without
+// running) the million-vertex instances the implicit representation
+// exists for.
+func TestImplicitEquivalenceLargeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large equivalence smoke skipped in -short mode")
+	}
+	m := topology.WeakHypercube(14)
+	tw, ok := topology.ImplicitTwin(m)
+	if !ok {
+		t.Fatal("WeakHypercube(14) has no implicit twin")
+	}
+	wantRes, wantSnap := shardedRun(t, m, 1, false)
+	gotRes, gotSnap := shardedRun(t, tw, 4, false)
+	if gotRes != wantRes || !bytes.Equal(gotSnap, wantSnap) {
+		t.Errorf("order-14 hypercube: implicit sharded run diverged from serial explicit\nwant %+v\ngot  %+v", wantRes, gotRes)
+	}
+
+	// The dim-20 hypercube and the 1024x1024 mesh exist only implicitly
+	// (the explicit constructors cap out below these sizes). Run a few
+	// ticks to prove the engine actually routes at this scale.
+	for _, big := range []*topology.Machine{
+		topology.ImplicitWeakHypercube(20),
+		topology.ImplicitMesh(2, 1024),
+	} {
+		e := NewEngine(big, Greedy)
+		s := e.NewSim(rand.New(rand.NewSource(9)))
+		dist := traffic.NewSymmetric(big.N())
+		s.InjectSampled(dist, 4096)
+		for i := 0; i < 8; i++ {
+			s.Step()
+		}
+		if s.Delivered()+s.InFlight() != s.Injected() {
+			t.Errorf("%s: conservation broken: injected %d delivered %d inflight %d",
+				big.Name, s.Injected(), s.Delivered(), s.InFlight())
+		}
+		s.Close()
 	}
 }
 

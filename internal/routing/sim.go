@@ -15,17 +15,18 @@ import (
 //
 // The inner loop is allocation-free at steady state: per-tick wire usage
 // lives in a flat array cleared through a touched-list, per-vertex queues
-// and mailboxes reuse their backing arrays, and delivery latencies stream
-// into bucketed histograms (see TestStepSteadyStateAllocs and
+// live in per-shard chunk arenas that recycle their storage, mailboxes
+// reuse their backing arrays, and delivery latencies stream into bucketed
+// histograms (see TestStepSteadyStateAllocs and
 // TestShardedStepSteadyStateAllocs for the enforced budgets).
 //
 // A Sim always runs as one or more shards (shard.go): the vertex set is
 // partitioned, each shard advances its own queues, and boundary packets
-// cross shards through per-(source, destination)-shard mailboxes under a
-// barrier per tick. Every random decision is keyed by (tick, vertex), never
-// drawn from a shared stream, so the results are bit-for-bit identical at
-// every shard count and under every partition; the serial simulator is
-// simply the one-shard instance run inline.
+// cross shards through per-(source, destination)-shard mailboxes under an
+// epoch-counter pipeline per tick. Every random decision is keyed by
+// (tick, vertex), never drawn from a shared stream, so the results are
+// bit-for-bit identical at every shard count and under every partition;
+// the serial simulator is simply the one-shard instance run inline.
 type Sim struct {
 	eng *Engine
 	rng *rand.Rand // injection-side stream: sampling and Valiant intermediates
@@ -38,14 +39,20 @@ type Sim struct {
 	workers []*shardWorker // len(shards)-1 long-lived goroutines; nil when serial
 	shardOf []int32        // vertex id -> owning shard
 
-	queues   [][]simPacket // per vertex; touched only by the owning shard
-	inActive []bool        // per vertex; touched only by the owning shard
-	edgeUsed []int32       // per directed edge id, usage this tick (owner-shard writes)
+	// epochs[i] is the last tick shard i finished its move phase for —
+	// the publication point of its outboxes. A shard's arrive spins on the
+	// epochs of its in-neighbour shards only, so unrelated shards pipeline
+	// freely instead of meeting at a global barrier.
+	epochs []shardEpoch
+
+	vq       []vqueue // per-vertex queue state; touched only by the owning shard
+	inActive []bool   // per vertex; touched only by the owning shard
+	edgeUsed []int32  // per directed edge id, usage this tick (owner-shard writes)
 
 	now int // current tick
 
 	// Global counters. Shard phases accumulate per-tick deltas which Step
-	// folds in after the barrier, so between Steps these are authoritative.
+	// folds in after the tick, so between Steps these are authoritative.
 	injected     int
 	delivered    int
 	dropped      int // lost to faults: dead endpoints, spent retries, TTL
@@ -64,11 +71,28 @@ type Sim struct {
 	closed bool
 }
 
+// simPacket is one in-flight message, packed to 24 bytes so queue chunks
+// and mailboxes stay cache-friendly at million-packet populations.
 type simPacket struct {
-	packet
-	born       int
-	retries    uint8 // reroute attempts while stranded (faults only)
-	sleepUntil int   // tick before which a backed-off packet is not served
+	at       int32 // current vertex
+	dst      int32 // current target (intermediate during Valiant phase 1)
+	finalDst int32
+	born     int32
+	// sleepUntil is the tick before which a backed-off packet is not
+	// served (faults only).
+	sleepUntil int32
+	// retries counts reroute attempts while stranded (faults only).
+	retries uint8
+	phase1  bool // still heading for the Valiant intermediate
+}
+
+// vqueue is one vertex's queue: a chain of fixed-size chunks in the owning
+// shard's arena. Every chunk in the chain is full except the tail (move
+// rewrites chains densely), so the position of packet i is chunk i/cap,
+// slot i%cap along the chain.
+type vqueue struct {
+	head, tail int32 // chunk ids in the owning shard's arena; -1 when empty
+	n          int32
 }
 
 // NewSim returns a fresh simulation on the engine's machine, sharded
@@ -84,7 +108,7 @@ func (e *Engine) NewSim(rng *rand.Rand) *Sim {
 // bit-for-bit identical to the serial sim at every shard count; see
 // DESIGN.md for the determinism contract. Call Close when done.
 func (e *Engine) NewShardedSim(rng *rand.Rand, shards int) *Sim {
-	n := e.M.Graph.N()
+	n := e.numVerts
 	if shards < 1 {
 		shards = 1
 	}
@@ -106,7 +130,7 @@ func (e *Engine) NewShardedSim(rng *rand.Rand, shards int) *Sim {
 // count is max(assign)+1. The partition affects only which goroutine
 // advances which vertex — never the results.
 func (e *Engine) NewPartitionedSim(rng *rand.Rand, assign []int) *Sim {
-	n := e.M.Graph.N()
+	n := e.numVerts
 	if len(assign) != n {
 		panic(fmt.Sprintf("routing: partition over %d vertices on machine of %d", len(assign), n))
 	}
@@ -123,16 +147,20 @@ func (e *Engine) NewPartitionedSim(rng *rand.Rand, assign []int) *Sim {
 }
 
 func (e *Engine) newSim(rng *rand.Rand, shards int, assign []int) *Sim {
-	n := e.M.Graph.N()
+	n := e.numVerts
 	s := &Sim{
 		eng:         e,
 		rng:         rng,
 		planState:   uint64(measure.NewSeedPlan(rng.Int63()).Seed()),
-		queues:      make([][]simPacket, n),
+		vq:          make([]vqueue, n),
 		inActive:    make([]bool, n),
 		edgeUsed:    make([]int32, e.numEdges),
 		shardOf:     make([]int32, n),
+		epochs:      make([]shardEpoch, shards),
 		latMergedAt: -1,
+	}
+	for i := range s.vq {
+		s.vq[i].head, s.vq[i].tail = -1, -1
 	}
 	owned := make([]int, shards)
 	for v, sh := range assign {
@@ -141,12 +169,69 @@ func (e *Engine) newSim(rng *rand.Rand, shards int, assign []int) *Sim {
 	}
 	s.shards = make([]*simShard, shards)
 	for i := range s.shards {
-		s.shards[i] = newSimShard(i, shards, owned[i])
+		s.shards[i] = newSimShard(i, owned[i])
 	}
+	s.wireShardTopology()
 	if shards > 1 {
 		s.startWorkers()
 	}
 	return s
+}
+
+// wireShardTopology computes, once, which shards can exchange packets: a
+// packet only ever crosses from shard i to shard j along a graph edge, so
+// each shard clears and merges only its neighbour shards' mailboxes and
+// waits only on their epochs. Serial sims get the trivial self-loop.
+func (s *Sim) wireShardTopology() {
+	e := s.eng
+	k := len(s.shards)
+	for _, sh := range s.shards {
+		sh.outbox = make([][]arrival, k)
+	}
+	if k == 1 {
+		sh := s.shards[0]
+		sh.srcShards = []int32{0}
+		sh.outNbrs = []int32{0}
+		sh.heads = make([]int, 1)
+		return
+	}
+	adj := make([]bool, k*k)
+	for i := 0; i < k; i++ {
+		adj[i*k+i] = true
+	}
+	if e.geom != nil {
+		var su int
+		visit := func(slot, v int) {
+			adj[su*k+int(s.shardOf[v])] = true
+		}
+		for u := 0; u < e.numVerts; u++ {
+			su = int(s.shardOf[u])
+			e.geom.VisitNeighbors(u, visit)
+		}
+	} else {
+		for u := 0; u < e.numVerts; u++ {
+			su := int(s.shardOf[u])
+			for j := e.edgeBase[u]; j < e.edgeBase[u+1]; j++ {
+				adj[su*k+int(s.shardOf[e.nbrV[j]])] = true
+			}
+		}
+	}
+	for i, sh := range s.shards {
+		for j := 0; j < k; j++ {
+			if adj[j*k+i] {
+				sh.srcShards = append(sh.srcShards, int32(j))
+			}
+			if adj[i*k+j] {
+				sh.outNbrs = append(sh.outNbrs, int32(j))
+			}
+		}
+		for _, j := range sh.srcShards {
+			if int(j) != i {
+				sh.waitFor = append(sh.waitFor, j)
+			}
+		}
+		sh.heads = make([]int, len(sh.srcShards))
+	}
 }
 
 // ShardCount returns the number of shards the sim runs on.
@@ -230,13 +315,19 @@ func (s *Sim) latencyHist() *Histogram {
 	return &s.latMerged
 }
 
+// queueLen returns vertex u's current queue length (the chunk chain is in
+// u's owning shard; callers in driver context only).
+func (s *Sim) queueLen(u int) int { return int(s.vq[u].n) }
+
 func (s *Sim) push(p simPacket) {
-	if len(s.queues[p.at]) == 0 && !s.inActive[p.at] {
-		s.inActive[p.at] = true
-		sh := s.shards[s.shardOf[p.at]]
-		sh.active = append(sh.active, p.at)
+	u := int(p.at)
+	sh := s.shards[s.shardOf[u]]
+	q := &s.vq[u]
+	if q.n == 0 && !s.inActive[u] {
+		s.inActive[u] = true
+		sh.active = append(sh.active, u)
 	}
-	s.queues[p.at] = append(s.queues[p.at], p)
+	sh.qpush(q, p)
 }
 
 func (s *Sim) injectOne(m traffic.Message) {
@@ -255,11 +346,11 @@ func (s *Sim) injectOne(m traffic.Message) {
 		s.droppedTick++
 		return
 	}
-	p := simPacket{packet: packet{at: m.Src, dst: m.Dst, finalDst: m.Dst}, born: s.now}
+	p := simPacket{at: int32(m.Src), dst: int32(m.Dst), finalDst: int32(m.Dst), born: int32(s.now)}
 	if s.eng.Strategy == Valiant {
 		mid := s.rng.Intn(s.eng.M.N())
 		if mid != m.Src && mid != m.Dst && !s.eng.NodeDown(mid) {
-			p.dst = mid
+			p.dst = int32(mid)
 			p.phase1 = true
 		}
 	}
@@ -287,11 +378,11 @@ func (s *Sim) InjectSampled(dist traffic.Distribution, k int) {
 }
 
 // Step advances the machine one tick and returns the number of messages
-// delivered during it. A tick runs in two barrier-separated phases — move
-// (each shard serves its queues and posts moved packets to mailboxes) and
-// arrive (each shard merges its inbound mailboxes in sender order and
-// applies deliveries) — then folds the shards' per-tick deltas into the
-// global counters.
+// delivered during it. Each shard runs move (serve its queues, post moved
+// packets to per-shard mailboxes, publish its epoch) then arrive (spin
+// until its in-neighbour shards' epochs reach this tick, merge the inbound
+// mailboxes in sender order, apply arrivals); the driver then folds the
+// shards' per-tick deltas into the global counters.
 func (s *Sim) Step() int {
 	if s.closed {
 		panic("routing: Step on a closed Sim")
@@ -310,8 +401,13 @@ func (s *Sim) Step() int {
 		sh.move(s)
 		sh.arrive(s)
 	} else {
-		s.runPhase(phaseMove)
-		s.runPhase(phaseArrive)
+		for _, w := range s.workers {
+			w.cmd <- struct{}{}
+		}
+		s.tickShard(s.shards[0])
+		for _, w := range s.workers {
+			<-w.done
+		}
 	}
 
 	deliveredNow := 0

@@ -77,12 +77,10 @@ type DegradedOutcome struct {
 	SlowdownPenalty float64 `json:"slowdown_penalty"`
 }
 
-// canonicalEcho is the spec a Result carries: normalized, Shards stripped —
-// the same value Canonical serializes.
+// canonicalEcho is the spec a Result carries: normalized, with Shards and
+// adjacency representations stripped — the same value Canonical serializes.
 func canonicalEcho(s Spec) Spec {
-	n := s.Normalized()
-	n.Shards = 0
-	return n
+	return stripRepresentation(s.Normalized())
 }
 
 // Run executes a measurement spec against a prebuilt machine. The RNG
@@ -207,6 +205,9 @@ func BuildMachine(ms MachineSpec) (*topology.Machine, error) {
 		return nil, err
 	}
 	f, _ := topology.ParseFamily(ms.Family)
+	if ms.Adjacency == AdjImplicit {
+		return topology.BuildImplicit(f, ms.Dim, ms.Size)
+	}
 	return topology.Build(f, ms.Dim, ms.Size, rand.New(rand.NewSource(ms.Seed))), nil
 }
 
@@ -251,6 +252,9 @@ func buildTraffic(m *topology.Machine, spec string) (traffic.Distribution, error
 	}
 	if !locality {
 		return traffic.NewSymmetric(m.N()), nil
+	}
+	if m.Graph == nil {
+		return nil, fmt.Errorf("runspec: locality traffic needs a materialized graph, %s is implicit", m.Name)
 	}
 	if m.N() != m.Graph.N() {
 		return nil, fmt.Errorf("runspec: locality traffic needs a pure processor machine, %s has switches", m.Name)

@@ -59,6 +59,15 @@ const (
 	ModeMapped    = "mapped"
 )
 
+// Adjacency representations a MachineSpec may request. Empty means
+// explicit. The representation never changes a result — the routing
+// simulator is bit-identical across the two — so Canonical strips it,
+// exactly like Shards.
+const (
+	AdjExplicit = "explicit"
+	AdjImplicit = "implicit"
+)
+
 // MachineSpec identifies a machine the way topology.Build does: family,
 // dimension (for dimensioned families), approximate size, and the build
 // seed (only consumed by the randomized families — Expander,
@@ -68,6 +77,13 @@ type MachineSpec struct {
 	Dim    int    `json:"dim,omitempty"`
 	Size   int    `json:"size"`
 	Seed   int64  `json:"seed,omitempty"`
+	// Adjacency selects the machine representation: "" or "explicit" for a
+	// materialized multigraph, "implicit" for generator-backed adjacency
+	// (topology.BuildImplicit; WeakHypercube, Mesh, and Torus only). The
+	// implicit form exists so million-vertex machines fit in memory; only
+	// the kinds whose measurements never need the whole edge list accept it
+	// (beta under symmetric traffic, and open-loop runs).
+	Adjacency string `json:"adjacency,omitempty"`
 }
 
 // Spec is the unified run request. The zero value of every field means
@@ -276,6 +292,20 @@ func (s Spec) Validate() error {
 	}
 	// Guest/Host presence is Execute's concern: RunEmulation accepts
 	// prebuilt machines with no machine specs in the spec at all.
+	if s.Machine != nil && s.Machine.Adjacency == AdjImplicit {
+		switch s.Kind {
+		case KindOpenLoop:
+		case KindBeta:
+			if locality, _, err := parseTraffic(s.Traffic); err == nil && locality {
+				return fmt.Errorf("runspec: locality traffic needs a materialized graph; adjacency %q only supports symmetric traffic", AdjImplicit)
+			}
+		default:
+			return fmt.Errorf("runspec: kind %s needs a materialized graph; adjacency %q supports beta and open-loop only", s.Kind, AdjImplicit)
+		}
+	}
+	if s.Guest != nil && s.Guest.Adjacency == AdjImplicit || s.Host != nil && s.Host.Adjacency == AdjImplicit {
+		return fmt.Errorf("runspec: emulation needs materialized graphs; guest and host cannot use adjacency %q", AdjImplicit)
+	}
 	return nil
 }
 
@@ -293,6 +323,15 @@ func (ms MachineSpec) validate(field string) error {
 	if ms.Dim < 0 {
 		return fmt.Errorf("runspec: %s dim must be non-negative, got %d", field, ms.Dim)
 	}
+	switch ms.Adjacency {
+	case "", AdjExplicit:
+	case AdjImplicit:
+		if !topology.ImplicitSupported(f) {
+			return fmt.Errorf("runspec: %s family %s has no implicit generator (want WeakHypercube, Mesh, or Torus)", field, ms.Family)
+		}
+	default:
+		return fmt.Errorf("runspec: %s adjacency must be %q or %q, got %q", field, AdjExplicit, AdjImplicit, ms.Adjacency)
+	}
 	return nil
 }
 
@@ -301,15 +340,31 @@ func (ms MachineSpec) validate(field string) error {
 // an older build can never collide with the new semantics.
 const canonicalVersion = "v1"
 
-// Canonical returns the stable identity string of the run: a version
-// prefix plus the compact JSON of the normalized spec with Shards
-// stripped. Two Specs describing the same computation — defaults spelled
-// out or left zero, any shard count — canonicalize identically. The
-// server's request coalescer, the experiment memo cache, and the disk
-// cache all key off this one string.
-func (s Spec) Canonical() string {
-	n := s.Normalized()
+// stripRepresentation clears the fields that select how a run executes
+// rather than what it computes: the shard count and the machines'
+// adjacency representations. Machine-spec pointers are copied before
+// mutation so the caller's spec is untouched.
+func stripRepresentation(n Spec) Spec {
 	n.Shards = 0
+	for _, msp := range []**MachineSpec{&n.Machine, &n.Guest, &n.Host} {
+		if ms := *msp; ms != nil && ms.Adjacency != "" {
+			c := *ms
+			c.Adjacency = ""
+			*msp = &c
+		}
+	}
+	return n
+}
+
+// Canonical returns the stable identity string of the run: a version
+// prefix plus the compact JSON of the normalized spec with Shards and
+// adjacency representations stripped. Two Specs describing the same
+// computation — defaults spelled out or left zero, any shard count,
+// either machine representation — canonicalize identically. The server's
+// request coalescer, the experiment memo cache, and the disk cache all
+// key off this one string.
+func (s Spec) Canonical() string {
+	n := stripRepresentation(s.Normalized())
 	b, err := json.Marshal(n)
 	if err != nil {
 		// Spec is a tree of plain values; Marshal cannot fail on it.

@@ -1,0 +1,109 @@
+package specflags
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzPositiveInts: the csv parser never panics, never returns an empty
+// list without an error, and any list that parses renders back to a csv
+// that re-parses identically (the normalization the spec JSON relies on).
+func FuzzPositiveInts(f *testing.F) {
+	seeds := []string{
+		"1",
+		"2,4,8",
+		"64,128,256,512",
+		" 2 , 4 ",
+		"",
+		",",
+		",,,",
+		"0",
+		"-3",
+		"2,x",
+		"2,,8",
+		"9999999999999999999999",
+		"1,2,3,4,5,6,7,8,9,10",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, csv string) {
+		vals, err := PositiveInts("-fuzz", csv)
+		if err != nil {
+			if vals != nil {
+				t.Fatalf("PositiveInts(%q) returned both values %v and error %v", csv, vals, err)
+			}
+			return
+		}
+		if len(vals) == 0 {
+			t.Fatalf("PositiveInts(%q) returned an empty list without error", csv)
+		}
+		parts := make([]string, len(vals))
+		for i, v := range vals {
+			if v < 1 {
+				t.Fatalf("PositiveInts(%q) returned non-positive %d", csv, v)
+			}
+			parts[i] = itoa(v)
+		}
+		again, err := PositiveInts("-fuzz", strings.Join(parts, ","))
+		if err != nil {
+			t.Fatalf("round trip of %q failed: %v", csv, err)
+		}
+		if len(again) != len(vals) {
+			t.Fatalf("round trip of %q changed length: %v vs %v", csv, vals, again)
+		}
+		for i := range vals {
+			if again[i] != vals[i] {
+				t.Fatalf("round trip of %q changed values: %v vs %v", csv, vals, again)
+			}
+		}
+	})
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// FuzzMeasureValidate: no flag combination panics — a bad flag costs
+// exactly one error line, which is the package's whole contract — and a
+// Measure that validates always produces a BetaSpec that passes
+// runspec.Validate.
+func FuzzMeasureValidate(f *testing.F) {
+	f.Add("DeBruijn", 2, "64,128", "2,4,8", 2, int64(1), 0, 0.9, 400, 10, "", "")
+	f.Add("WeakHypercube", 0, "1024", "2", 1, int64(7), 4, 0.5, 100, 5, "edges:0.1@t20", "implicit")
+	f.Add("Mesh", 2, "900", "2,4", 2, int64(3), 2, 1.0, 8, 1, "heal@t5", "explicit")
+	f.Add("", -1, "", "", 0, int64(0), -1, 0.0, 0, 0, "@", "bogus")
+	f.Add("Torus", 8, "6561", "8", 3, int64(-5), 99, 0.01, 123456, 3, "nodes:1@t1,heal@t2", "implicit")
+	f.Add("Tree", 0, "63", "2", 1, int64(0), 1, 0.9, 50, 2, "", "implicit")
+	f.Fuzz(func(t *testing.T, family string, dim int, sizes, load string, trials int,
+		seed int64, shards int, rate float64, statsTicks, topK int, faults, adjacency string) {
+		m := &Measure{
+			Family: family, Dim: dim, Sizes: sizes, Load: load, Trials: trials,
+			Seed: seed, Shards: shards, Rate: rate, StatsTicks: statsTicks,
+			TopK: topK, Faults: faults, Adjacency: adjacency,
+		}
+		if err := m.Validate(); err != nil {
+			return
+		}
+		if len(m.SizeList) == 0 || len(m.LoadList) == 0 {
+			t.Fatalf("Validate passed with empty parsed lists: %+v", m)
+		}
+		spec := m.BetaSpec(m.SizeList[0])
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("valid Measure %+v produced invalid spec: %v", m, err)
+		}
+		if spec.Canonical() == "" {
+			t.Fatal("empty canonical key")
+		}
+	})
+}

@@ -53,6 +53,10 @@ type Measure struct {
 	StatsTicks int
 	TopK       int
 	Faults     string
+	// Adjacency is the machine representation: "" or "explicit" for a
+	// materialized multigraph, "implicit" for generator-backed adjacency
+	// (hypercube, mesh, torus only).
+	Adjacency string
 
 	// Populated by Validate.
 	Fam      topology.Family
@@ -96,6 +100,20 @@ func (f *Measure) Validate() error {
 	if f.Fam, err = topology.ParseFamily(f.Family); err != nil {
 		return err
 	}
+	// Mirror runspec.MachineSpec.validate: a flag set that passes here must
+	// produce a spec that passes there (FuzzMeasureValidate found the gap).
+	if f.Fam.Dimensioned() && f.Dim < 1 {
+		return fmt.Errorf("-dim must be >= 1 for family %s, got %d", f.Fam, f.Dim)
+	}
+	switch f.Adjacency {
+	case "", runspec.AdjExplicit:
+	case runspec.AdjImplicit:
+		if !topology.ImplicitSupported(f.Fam) {
+			return fmt.Errorf("-adjacency implicit: family %s has no implicit generator (want WeakHypercube, Mesh, or Torus)", f.Fam)
+		}
+	default:
+		return fmt.Errorf("-adjacency must be %q or %q, got %q", runspec.AdjExplicit, runspec.AdjImplicit, f.Adjacency)
+	}
 	return nil
 }
 
@@ -103,9 +121,13 @@ func (f *Measure) Validate() error {
 // size in the sweep — what `betameter -json` executes and what the
 // netemud parity check POSTs.
 func (f *Measure) BetaSpec(size int) runspec.Spec {
+	adj := f.Adjacency
+	if adj == runspec.AdjExplicit {
+		adj = "" // the canonical spelling of the default
+	}
 	return runspec.Spec{
 		Kind:        runspec.KindBeta,
-		Machine:     &runspec.MachineSpec{Family: f.Fam.String(), Dim: f.Dim, Size: size, Seed: f.Seed},
+		Machine:     &runspec.MachineSpec{Family: f.Fam.String(), Dim: f.Dim, Size: size, Seed: f.Seed, Adjacency: adj},
 		LoadFactors: f.LoadList,
 		Trials:      f.Trials,
 		Seed:        f.Seed,

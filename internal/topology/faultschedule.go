@@ -112,7 +112,9 @@ func ParseFaultSpec(spec string) (FaultPlan, error) {
 				return nil, fmt.Errorf("topology: fault clause %q: edges needs a fraction (edges:0.05@t100)", raw)
 			}
 			frac, err := strconv.ParseFloat(amount, 64)
-			if err != nil || frac < 0 || frac >= 1 {
+			// The negated range check also rejects NaN, which compares
+			// false to everything and would otherwise slip through.
+			if err != nil || !(frac >= 0 && frac < 1) {
 				return nil, fmt.Errorf("topology: fault clause %q: wire fraction must be in [0,1), got %q", raw, amount)
 			}
 			plan = append(plan, FaultClause{Kind: EdgeFaults, Tick: tick, Frac: frac})
@@ -200,7 +202,7 @@ func (p FaultPlan) Materialize(m *Machine, rng *rand.Rand) *FaultSchedule {
 	type pair struct{ u, v int }
 	downEdges := make(map[pair]bool)
 	downNodes := make(map[int]bool)
-	edges := m.Graph.Edges()
+	edges := m.EdgeList()
 	sched := &FaultSchedule{}
 	for _, c := range p {
 		ev := FaultEvent{Tick: c.Tick}

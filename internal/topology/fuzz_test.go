@@ -1,0 +1,74 @@
+package topology
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseFaultSpec is the parser's robustness contract: no input panics,
+// and any spec that parses renders (FaultPlan.String) back to a spec that
+// re-parses to the identical plan — the round trip the CLIs and runspec
+// rely on when they echo fault specs through JSON.
+func FuzzParseFaultSpec(f *testing.F) {
+	seeds := []string{
+		"edges:0.05@t100",
+		"nodes:8@t500",
+		"heal@t900",
+		"edges:0.15@t20,nodes:2@t40,heal@t60",
+		"edges:0@t0",
+		"nodes:1@t0,heal@t0",
+		" edges:0.5@t7 , heal@t8 ",
+		"",
+		",",
+		"edges@t5",
+		"edges:0.05",
+		"edges:1.0@t5",
+		"nodes:0@t5",
+		"heal:3@t5",
+		"bogus:1@t1",
+		"edges:0.05@x100",
+		"nodes:8@t-3",
+		"edges:NaN@t1",
+		"edges:1e-9@t2147483647",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		plan, err := ParseFaultSpec(spec)
+		if err != nil {
+			return
+		}
+		if len(plan) == 0 {
+			t.Fatalf("ParseFaultSpec(%q) returned an empty plan without error", spec)
+		}
+		for i, c := range plan {
+			if c.Tick < 0 {
+				t.Fatalf("ParseFaultSpec(%q): negative tick in clause %d: %+v", spec, i, c)
+			}
+			if i > 0 && plan[i-1].Tick > c.Tick {
+				t.Fatalf("ParseFaultSpec(%q): plan not sorted by tick: %v", spec, plan)
+			}
+			switch c.Kind {
+			case EdgeFaults:
+				if c.Frac < 0 || c.Frac >= 1 {
+					t.Fatalf("ParseFaultSpec(%q): edge fraction %v outside [0,1)", spec, c.Frac)
+				}
+			case NodeFaults:
+				if c.Count < 1 {
+					t.Fatalf("ParseFaultSpec(%q): node count %d < 1", spec, c.Count)
+				}
+			case Heal:
+			default:
+				t.Fatalf("ParseFaultSpec(%q): unknown kind %v", spec, c.Kind)
+			}
+		}
+		again, err := ParseFaultSpec(plan.String())
+		if err != nil {
+			t.Fatalf("round trip of %q failed: %q does not re-parse: %v", spec, plan.String(), err)
+		}
+		if !reflect.DeepEqual(again, plan) {
+			t.Fatalf("round trip of %q changed the plan:\nfirst:  %v\nsecond: %v", spec, plan, again)
+		}
+	})
+}

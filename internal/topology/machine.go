@@ -112,11 +112,20 @@ func (f Family) Dimensioned() bool {
 	return false
 }
 
-// Machine is a concrete network-machine instance.
+// Machine is a concrete network-machine instance. Exactly one of Graph and
+// Implicit is non-nil: Graph is a materialized multigraph, Implicit is a
+// generator that computes the same adjacency on demand (hypercube, mesh,
+// and torus families only — see implicit.go). The two representations are
+// interchangeable for routing: an implicit machine and its explicit twin
+// have the same Name and produce byte-identical simulation results.
 type Machine struct {
 	Family Family
 	Name   string
 	Graph  *multigraph.Multigraph
+
+	// Implicit generates the adjacency on the fly when Graph is nil, so
+	// million-vertex machines build without materializing edge lists.
+	Implicit *Implicit
 
 	// Procs is the number of processor vertices. Processors occupy
 	// indices 0..Procs-1; any further vertices are switching elements
@@ -136,6 +145,11 @@ type Machine struct {
 	// capacity 1; every weak-hypercube vertex has capacity 1 (one port per
 	// step).
 	VertexCap map[int]int64
+
+	// UniformCap, when positive, caps every vertex at this forwarding
+	// capacity — the implicit weak hypercube's all-ones VertexCap map
+	// without the million map entries. VertexCap takes precedence.
+	UniformCap int64
 }
 
 // N returns the number of processors (the machine size |M| the paper's
@@ -143,7 +157,32 @@ type Machine struct {
 func (m *Machine) N() int { return m.Procs }
 
 // Vertices returns the total number of graph vertices including switches.
-func (m *Machine) Vertices() int { return m.Graph.N() }
+func (m *Machine) Vertices() int {
+	if m.Graph == nil {
+		return m.Implicit.N()
+	}
+	return m.Graph.N()
+}
+
+// EdgeCount returns the number of undirected wires, for either
+// representation.
+func (m *Machine) EdgeCount() int64 {
+	if m.Graph == nil {
+		return m.Implicit.E()
+	}
+	return m.Graph.E()
+}
+
+// EdgeList returns the undirected edge list sorted by (U, V), identical
+// across representations: multigraph.Edges for explicit machines, the
+// generated list for implicit ones. Fault materialization iterates it, so
+// a fault plan drawn on an implicit machine matches its explicit twin.
+func (m *Machine) EdgeList() []multigraph.Edge {
+	if m.Graph == nil {
+		return m.Implicit.Edges()
+	}
+	return m.Graph.Edges()
+}
 
 // IsProcessor reports whether vertex v is a processor.
 func (m *Machine) IsProcessor(v int) bool { return v >= 0 && v < m.Procs }
@@ -151,22 +190,33 @@ func (m *Machine) IsProcessor(v int) bool { return v >= 0 && v < m.Procs }
 // Cap returns the forwarding capacity of vertex v (messages forwarded per
 // tick), or -1 for unlimited.
 func (m *Machine) Cap(v int) int64 {
-	if m.VertexCap == nil {
+	if m.VertexCap != nil {
+		if c, ok := m.VertexCap[v]; ok {
+			return c
+		}
 		return -1
 	}
-	if c, ok := m.VertexCap[v]; ok {
-		return c
+	if m.UniformCap > 0 {
+		return m.UniformCap
 	}
 	return -1
 }
 
 func (m *Machine) String() string {
-	return fmt.Sprintf("%s{procs=%d, vertices=%d, E=%d}", m.Name, m.Procs, m.Graph.N(), m.Graph.E())
+	return fmt.Sprintf("%s{procs=%d, vertices=%d, E=%d}", m.Name, m.Procs, m.Vertices(), m.EdgeCount())
 }
 
 // validate panics if the machine breaks a structural invariant; generators
 // call it before returning.
 func (m *Machine) validate() *Machine {
+	if m.Graph == nil {
+		// Implicit machines are connected by construction; the generator
+		// constructors validated their parameters already.
+		if m.Implicit == nil || m.Procs != m.Implicit.N() {
+			panic(fmt.Sprintf("topology: %s has procs=%d on an implicit generator of %d vertices", m.Name, m.Procs, m.Implicit.N()))
+		}
+		return m
+	}
 	if m.Procs < 1 || m.Procs > m.Graph.N() {
 		panic(fmt.Sprintf("topology: %s has procs=%d, vertices=%d", m.Name, m.Procs, m.Graph.N()))
 	}
