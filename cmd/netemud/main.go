@@ -8,7 +8,7 @@
 //	POST /v1/emulate        direct / circuit / pipelined / mapped / degraded
 //	GET  /v1/tables/{1..4}  the paper's reproduced tables (plain text)
 //	GET  /healthz           liveness
-//	GET  /metrics           request/cache/coalescing counters + latency
+//	GET  /metrics           request/cache/coalescing/cluster counters + latency
 //
 // The POST endpoints take a JSON runspec.Spec and return the
 // json.MarshalIndent of its RunResult — byte-identical to what
@@ -18,11 +18,24 @@
 // admission queue (429 when full, 503 while draining) and optionally
 // persist through the same disk-cache format the report pipeline uses.
 //
+// Distributed mode: `-coordinator -workers host1:port,host2:port` fans
+// computations out to a pool of plain netemud processes (run them with
+// `-worker`, which is a single-node server plus a log marker), routing
+// each request by its canonical cache key on a consistent-hash ring so
+// every worker's memo and disk cache stay hot for its slice of the key
+// space. Dead workers are probed out of rotation and requests fail over
+// to the next ring successor; with no worker reachable the coordinator
+// computes locally. Responses are byte-identical to a single-node run
+// either way.
+//
 // Usage:
 //
 //	netemud [-addr :8080] [-concurrency N] [-queue 16]
 //	        [-request-timeout 60s] [-shards 1]
 //	        [-cache DIR] [-cache-max-bytes N]
+//	        [-read-header-timeout 10s] [-idle-timeout 2m] [-max-header-bytes 65536]
+//	        [-coordinator -workers host:port,... [-health-interval 2s] [-forward-timeout 90s]]
+//	        [-worker]
 package main
 
 import (
@@ -34,11 +47,13 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/experiment"
 	"repro/internal/server"
+	"repro/internal/server/cluster"
 )
 
 func main() {
@@ -50,9 +65,31 @@ func main() {
 	timeout := flag.Duration("request-timeout", 60*time.Second, "default per-request deadline (clients lower it via X-Timeout-Ms)")
 	shards := flag.Int("shards", 1, "simulator shards per computation for specs that leave shards unset (0 = one per CPU); results are identical at any value")
 	cacheDir := flag.String("cache", "", "persist responses in this directory across restarts; shares the report pipeline's cache format")
-	cacheMax := flag.Int64("cache-max-bytes", 0, "evict oldest -cache entries once the directory exceeds this size (0 = unlimited)")
+	cacheMax := flag.Int64("cache-max-bytes", 0, "evict least-recently-used -cache entries once the directory exceeds this size (0 = unlimited)")
 	drain := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight computations")
+
+	// Listener hardening. Handler-level deadlines stay with the
+	// admission queue; these guard the connection itself, where a
+	// slow-loris client could otherwise pin a conn forever — fatal once
+	// workers accept coordinator-forwarded traffic.
+	readHeader := flag.Duration("read-header-timeout", 10*time.Second, "max time to read a request's headers (0 = unlimited)")
+	idle := flag.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time per connection (0 = unlimited)")
+	maxHeader := flag.Int("max-header-bytes", 1<<16, "max request header size in bytes")
+
+	// Cluster roles.
+	coordinator := flag.Bool("coordinator", false, "fan computations out to the -workers pool by canonical cache key")
+	workers := flag.String("workers", "", "comma-separated worker host:port list (implies -coordinator)")
+	worker := flag.Bool("worker", false, "serve as a cluster worker (a plain single-node server; marker for logs and ops)")
+	healthInterval := flag.Duration("health-interval", 2*time.Second, "coordinator /healthz probe period")
+	forwardTimeout := flag.Duration("forward-timeout", 90*time.Second, "coordinator per-attempt forward deadline; keep above the workers' -request-timeout")
 	flag.Parse()
+
+	if *workers != "" {
+		*coordinator = true
+	}
+	if *coordinator && *worker {
+		log.Fatal("-coordinator and -worker are mutually exclusive roles")
+	}
 
 	cfg := server.Config{
 		MaxConcurrent:  *concurrency,
@@ -75,13 +112,41 @@ func main() {
 		cfg.Cache = cache
 	}
 
+	var dispatch *cluster.Dispatcher
+	if *coordinator {
+		pool := splitWorkers(*workers)
+		if len(pool) == 0 {
+			log.Print("coordinator with an empty -workers pool: every computation runs locally")
+		}
+		dispatch = cluster.NewDispatcher(pool, cluster.Options{
+			ProbeInterval:  *healthInterval,
+			ForwardTimeout: *forwardTimeout,
+		})
+		dispatch.Start()
+		defer dispatch.Close()
+		cfg.Dispatch = dispatch
+	}
+
 	srv := server.New(cfg)
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: *readHeader,
+		IdleTimeout:       *idle,
+		MaxHeaderBytes:    *maxHeader,
+	}
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s (concurrency=%d, queue=%d, shards=%d)",
-			*addr, cfg.MaxConcurrent, cfg.QueueDepth, cfg.Shards)
+		role := "single-node"
+		switch {
+		case *coordinator:
+			role = "coordinator over " + *workers
+		case *worker:
+			role = "worker"
+		}
+		log.Printf("listening on %s as %s (concurrency=%d, queue=%d, shards=%d)",
+			*addr, role, cfg.MaxConcurrent, cfg.QueueDepth, cfg.Shards)
 		errc <- hs.ListenAndServe()
 	}()
 
@@ -110,4 +175,16 @@ func main() {
 		log.Printf("abandoning in-flight computations: %v", err)
 	}
 	srv.Close()
+}
+
+// splitWorkers parses the -workers list, dropping empty elements so
+// trailing commas are harmless.
+func splitWorkers(list string) []string {
+	var out []string
+	for _, w := range strings.Split(list, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			out = append(out, w)
+		}
+	}
+	return out
 }

@@ -1,0 +1,339 @@
+// Command netemuload replays a seeded stream of mixed netemud requests
+// — measurements, emulations, and table fetches — against a server or a
+// coordinator/worker cluster, and reports latency and throughput as
+// JSON (the committed BENCH_netemud.json procedure).
+//
+// The plan is a pure function of -seed and -requests: the same flags
+// generate byte-identical request bodies in the same order, so two
+// replays against different deployments (a cluster vs a single node)
+// are directly comparable, and with -responses DIR the saved response
+// bodies can be diffed file-by-file — the CI cluster-parity check.
+//
+// Usage:
+//
+//	netemuload -target http://127.0.0.1:8080 [-requests 120] [-concurrency 4]
+//	           [-seed 1] [-o BENCH_netemud.json] [-responses DIR] [-fail-on-error]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/routing"
+	"repro/internal/runspec"
+)
+
+type request struct {
+	idx    int
+	kind   string // stats label: a runspec kind or "tables"
+	method string
+	path   string
+	body   []byte // nil for GET
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("netemuload: ")
+	target := flag.String("target", "", "base URL of the netemud server or coordinator (required)")
+	requests := flag.Int("requests", 120, "how many requests the plan holds")
+	concurrency := flag.Int("concurrency", 4, "concurrent replay workers")
+	seed := flag.Int64("seed", 1, "plan seed; same seed + same -requests = identical plan")
+	out := flag.String("o", "BENCH_netemud.json", "write the latency/throughput report here (- = stdout)")
+	responses := flag.String("responses", "", "also save each response body to this directory (resp-NNNN.json) for diffing runs")
+	failOnError := flag.Bool("fail-on-error", false, "exit nonzero if any request returns a non-200 status")
+	flag.Parse()
+	if *target == "" {
+		log.Fatal("-target is required (e.g. -target http://127.0.0.1:8080)")
+	}
+	if *requests < 1 {
+		log.Fatalf("-requests must be positive, got %d", *requests)
+	}
+	if *concurrency < 1 {
+		log.Fatalf("-concurrency must be positive, got %d", *concurrency)
+	}
+	base := strings.TrimRight(*target, "/")
+	if *responses != "" {
+		if err := os.MkdirAll(*responses, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	plan := buildPlan(*seed, *requests)
+	stats := newStats()
+	queue := make(chan request)
+	var wg sync.WaitGroup
+	client := &http.Client{Timeout: 5 * time.Minute}
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for req := range queue {
+				replay(client, base, req, *responses, stats)
+			}
+		}()
+	}
+	for _, req := range plan {
+		queue <- req
+	}
+	close(queue)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	report := stats.report(*target, *seed, *requests, *concurrency, elapsed)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		log.Fatal(err)
+	}
+	if *out == "-" {
+		os.Stdout.Write(buf.Bytes())
+	} else if err := os.WriteFile(*out, buf.Bytes(), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%d requests in %v (%.1f req/s), p50 %dµs p99 %dµs",
+		*requests, elapsed.Round(time.Millisecond), report.ThroughputRPS,
+		report.LatencyUS.P50, report.LatencyUS.P99)
+	if bad := stats.nonOK(); *failOnError && bad > 0 {
+		log.Fatalf("%d requests returned non-200 statuses: %v", bad, report.ByStatus)
+	}
+}
+
+// buildPlan generates the deterministic request mix. Weights favour the
+// cheap cache-friendly kinds so a replay exercises routing and caching
+// rather than saturating one slow simulation; seeds and machine shapes
+// vary so the canonical keys spread across a cluster's hash ring.
+func buildPlan(seed int64, n int) []request {
+	rng := rand.New(rand.NewSource(seed))
+	meshes := []int{16, 25, 36, 64}
+	cubes := []int{8, 16}
+	plan := make([]request, 0, n)
+	push := func(i int, kind runspec.Kind, spec runspec.Spec) {
+		spec.Kind = kind
+		body, err := json.Marshal(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plan = append(plan, request{
+			idx: i, kind: string(kind), method: http.MethodPost,
+			path: kind.Endpoint(), body: body,
+		})
+	}
+	mesh := func() *runspec.MachineSpec {
+		return &runspec.MachineSpec{Family: "Mesh", Dim: 2, Size: meshes[rng.Intn(len(meshes))]}
+	}
+	cube := func() *runspec.MachineSpec {
+		return &runspec.MachineSpec{Family: "WeakHypercube", Dim: 3 + rng.Intn(2), Size: cubes[rng.Intn(len(cubes))]}
+	}
+	machine := func() *runspec.MachineSpec {
+		if rng.Intn(3) == 0 {
+			return cube()
+		}
+		return mesh()
+	}
+	for i := 0; i < n; i++ {
+		runSeed := int64(rng.Intn(8))
+		switch p := rng.Intn(100); {
+		case p < 30: // beta
+			push(i, runspec.KindBeta, runspec.Spec{
+				Machine: machine(), LoadFactors: []int{2}, Trials: 1, Seed: runSeed,
+			})
+		case p < 45: // lambda
+			push(i, runspec.KindLambda, runspec.Spec{Machine: machine(), Seed: runSeed})
+		case p < 65: // open-loop
+			push(i, runspec.KindOpenLoop, runspec.Spec{
+				Machine: mesh(), Rate: 1 + rng.Float64(), Ticks: 64, Seed: runSeed,
+			})
+		case p < 75: // steady-beta
+			push(i, runspec.KindSteadyBeta, runspec.Spec{
+				Machine: mesh(), Ticks: 48, Iters: 2, Seed: runSeed,
+			})
+		case p < 80: // fault-curve
+			push(i, runspec.KindFaultCurve, runspec.Spec{
+				Machine: mesh(), FaultFracs: []float64{0.1}, Ticks: 40, Seed: runSeed,
+			})
+		case p < 90: // emulate
+			mode := runspec.ModeDirect
+			if rng.Intn(2) == 0 {
+				mode = runspec.ModeMapped
+			}
+			push(i, runspec.KindEmulate, runspec.Spec{
+				Guest: mesh(), Host: mesh(), Steps: 2, Mode: mode, Seed: runSeed,
+			})
+		default: // tables
+			plan = append(plan, request{
+				idx: i, kind: "tables", method: http.MethodGet,
+				path: fmt.Sprintf("/v1/tables/%d", 1+rng.Intn(4)),
+			})
+		}
+	}
+	return plan
+}
+
+func replay(client *http.Client, base string, req request, responsesDir string, st *stats) {
+	var (
+		status int
+		body   []byte
+	)
+	start := time.Now()
+	httpReq, err := http.NewRequest(req.method, base+req.path, bytes.NewReader(req.body))
+	if err == nil {
+		if req.body != nil {
+			httpReq.Header.Set("Content-Type", "application/json")
+		}
+		var resp *http.Response
+		if resp, err = client.Do(httpReq); err == nil {
+			body, err = io.ReadAll(resp.Body)
+			resp.Body.Close()
+			status = resp.StatusCode
+		}
+	}
+	micros := time.Since(start).Microseconds()
+	if err != nil {
+		status = 0 // transport failure bucket
+		body = []byte(err.Error())
+	}
+	st.record(req.kind, status, micros)
+	if responsesDir != "" {
+		name := fmt.Sprintf("resp-%04d.json", req.idx)
+		if status != http.StatusOK {
+			// Fold the status into the name so a diff between two replays
+			// catches status divergence, not just body divergence.
+			name = fmt.Sprintf("resp-%04d.err-%d", req.idx, status)
+		}
+		if werr := os.WriteFile(filepath.Join(responsesDir, name), body, 0o644); werr != nil {
+			log.Printf("saving %s: %v", name, werr)
+		}
+	}
+}
+
+// stats accumulates replay outcomes; one mutex is plenty next to
+// millisecond-scale simulations.
+type stats struct {
+	mu       sync.Mutex
+	latency  routing.Histogram // microseconds, all requests
+	byStatus map[int]int64
+	byKind   map[string]*kindStats
+}
+
+type kindStats struct {
+	requests int64
+	latency  routing.Histogram
+}
+
+func newStats() *stats {
+	return &stats{byStatus: make(map[int]int64), byKind: make(map[string]*kindStats)}
+}
+
+func (s *stats) record(kind string, status int, micros int64) {
+	if micros < 0 {
+		micros = 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.latency.Record(int(micros))
+	s.byStatus[status]++
+	ks := s.byKind[kind]
+	if ks == nil {
+		ks = &kindStats{}
+		s.byKind[kind] = ks
+	}
+	ks.requests++
+	ks.latency.Record(int(micros))
+}
+
+func (s *stats) nonOK() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for status, c := range s.byStatus {
+		if status != http.StatusOK {
+			n += c
+		}
+	}
+	return n
+}
+
+// benchReport is the BENCH_netemud.json schema.
+type benchReport struct {
+	Target        string                `json:"target"`
+	Requests      int                   `json:"requests"`
+	Concurrency   int                   `json:"concurrency"`
+	Seed          int64                 `json:"seed"`
+	ElapsedMS     float64               `json:"elapsed_ms"`
+	ThroughputRPS float64               `json:"throughput_rps"`
+	ByStatus      map[string]int64      `json:"by_status"`
+	LatencyUS     latencySummary        `json:"latency_us"`
+	ByKind        map[string]kindReport `json:"by_kind"`
+}
+
+type latencySummary struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   int     `json:"p50"`
+	P90   int     `json:"p90"`
+	P99   int     `json:"p99"`
+	Max   int     `json:"max"`
+}
+
+type kindReport struct {
+	Requests  int64          `json:"requests"`
+	LatencyUS latencySummary `json:"latency_us"`
+}
+
+func summarize(h *routing.Histogram) latencySummary {
+	return latencySummary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		Max:   h.Max(),
+	}
+}
+
+func (s *stats) report(target string, seed int64, requests, concurrency int, elapsed time.Duration) benchReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep := benchReport{
+		Target:        target,
+		Requests:      requests,
+		Concurrency:   concurrency,
+		Seed:          seed,
+		ElapsedMS:     float64(elapsed.Microseconds()) / 1e3,
+		ThroughputRPS: float64(requests) / elapsed.Seconds(),
+		ByStatus:      make(map[string]int64, len(s.byStatus)),
+		LatencyUS:     summarize(&s.latency),
+		ByKind:        make(map[string]kindReport, len(s.byKind)),
+	}
+	for status, n := range s.byStatus {
+		key := "transport-error"
+		if status != 0 {
+			key = fmt.Sprintf("%d", status)
+		}
+		rep.ByStatus[key] = n
+	}
+	kinds := make([]string, 0, len(s.byKind))
+	for k := range s.byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		ks := s.byKind[k]
+		rep.ByKind[k] = kindReport{Requests: ks.requests, LatencyUS: summarize(&ks.latency)}
+	}
+	return rep
+}

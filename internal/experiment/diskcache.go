@@ -104,8 +104,14 @@ func (c *DiskCache) path(key string) string {
 // directory degrades to recomputation, never to a wrong value or an
 // error. Exported for consumers (the netemud server) that key off
 // canonical RunSpec strings directly rather than through a Runner.
+//
+// A hit touches the entry's mtime, so enforceCap's oldest-mtime-first
+// order is genuine LRU: frequently read entries stay young however long
+// ago they were written. Best-effort like everything else here — on a
+// read-only directory the cache degrades to FIFO eviction, not failure.
 func (c *DiskCache) Load(key string, out any) bool {
-	data, err := os.ReadFile(c.path(key))
+	path := c.path(key)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		c.misses.Add(1)
 		return false
@@ -115,6 +121,8 @@ func (c *DiskCache) Load(key string, out any) bool {
 		c.misses.Add(1)
 		return false
 	}
+	now := time.Now()
+	os.Chtimes(path, now, now)
 	c.hits.Add(1)
 	return true
 }
@@ -147,14 +155,18 @@ func (c *DiskCache) Store(key string, val any) {
 		os.Remove(name)
 		return
 	}
-	c.enforceCap()
+	c.enforceCap(filepath.Base(c.path(key)))
 }
 
 // enforceCap deletes oldest-mtime-first entries until the directory's
-// total entry size fits under the cap. The just-written entry is the
-// youngest, so it survives unless it alone exceeds the cap. Errors are
-// swallowed like Store's: eviction is best-effort hygiene.
-func (c *DiskCache) enforceCap() {
+// total entry size fits under the cap, never touching exempt (the entry
+// whose store triggered the sweep). Exemption matters when one entry
+// alone exceeds the cap: sorting by mtime would otherwise delete the
+// file that was just written — its Load-touched mtime can even make it
+// the oldest — turning every later lookup of that key into a recompute
+// that re-stores and re-evicts forever. Errors are swallowed like
+// Store's: eviction is best-effort hygiene.
+func (c *DiskCache) enforceCap(exempt string) {
 	cap := c.maxBytes.Load()
 	if cap <= 0 {
 		return
@@ -195,6 +207,9 @@ func (c *DiskCache) enforceCap() {
 	for _, f := range files {
 		if total <= cap {
 			break
+		}
+		if f.name == exempt {
+			continue
 		}
 		if os.Remove(filepath.Join(c.dir, f.name)) == nil {
 			total -= f.size

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -241,7 +242,7 @@ func TestDiskCacheEvictsOldestFirst(t *testing.T) {
 		if err := os.Chtimes(c.path(k), base.Add(time.Duration(i)*time.Minute), base.Add(time.Duration(i)*time.Minute)); err != nil {
 			t.Fatal(err)
 		}
-		c.enforceCap() // re-run with the forced mtimes in place
+		c.enforceCap("") // re-run with the forced mtimes in place
 	}
 	// The oldest entries (a, b) must be gone; the newest three must hit.
 	var sink map[string]string
@@ -257,5 +258,109 @@ func TestDiskCacheEvictsOldestFirst(t *testing.T) {
 	}
 	if c.Evicted() < 2 {
 		t.Errorf("evicted counter %d, want >= 2", c.Evicted())
+	}
+}
+
+// entrySizeOf measures one stored entry's on-disk size by probing an
+// otherwise-empty cache, leaving the directory empty again.
+func entrySizeOf(t *testing.T, c *DiskCache, val any) int64 {
+	t.Helper()
+	c.Store("size-probe", val)
+	info, err := os.Stat(c.path("size-probe"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(c.path("size-probe")); err != nil {
+		t.Fatal(err)
+	}
+	return info.Size()
+}
+
+// TestDiskCacheEvictionIsLRUNotFIFO is the regression for the
+// FIFO-masquerading-as-LRU bug: Load never refreshed an entry's mtime,
+// so the oldest-*written* entry was evicted first even when it was the
+// most-*read* one. Store A then B, re-read A repeatedly, cap the cache,
+// and B — written later but never read — must be evicted before A.
+func TestDiskCacheEvictionIsLRUNotFIFO(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := map[string]string{"v": "0123456789"}
+	entrySize := entrySizeOf(t, c, val)
+
+	c.Store("a", val)
+	c.Store("b", val)
+	// Force a strict write-order clock: A written long before B, so a
+	// FIFO evictor would pick A first. (The filesystem clock may be too
+	// coarse to rely on.)
+	base := time.Now().Add(-2 * time.Hour)
+	for i, k := range []string{"a", "b"} {
+		ts := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(c.path(k), ts, ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-read A repeatedly: each hit must refresh its mtime.
+	var sink map[string]string
+	for i := 0; i < 3; i++ {
+		if !c.Load("a", &sink) {
+			t.Fatal("entry a did not hit")
+		}
+	}
+	// Cap to two entries and store C: the eviction sweep must pick B
+	// (least recently used), not A (oldest written, most read).
+	c.SetMaxBytes(2*entrySize + entrySize/2)
+	c.Store("c", val)
+	if c.Load("b", &sink) {
+		t.Error("least-recently-used entry b survived eviction")
+	}
+	if !c.Load("a", &sink) {
+		t.Error("hot entry a was evicted before cold entry b")
+	}
+	if !c.Load("c", &sink) {
+		t.Error("just-stored entry c was evicted")
+	}
+	if got := c.Evicted(); got != 1 {
+		t.Errorf("evicted counter %d, want 1", got)
+	}
+}
+
+// TestDiskCacheOversizedEntrySurvivesItsOwnStore is the regression for
+// the recompute loop: when a single entry exceeds the cap, the eviction
+// sweep its own store triggers must not delete it — otherwise every
+// lookup of that key misses, recomputes, re-stores, and re-evicts
+// forever. Older entries are still fair game.
+func TestDiskCacheOversizedEntrySurvivesItsOwnStore(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := map[string]string{"v": "x"}
+	c.Store("small", small)
+	// Age the small entry so mtime order is unambiguous.
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(c.path("small"), old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	big := map[string]string{"v": strings.Repeat("y", 4096)}
+	c.SetMaxBytes(1024) // smaller than the big entry alone
+	c.Store("big", big)
+
+	var sink map[string]string
+	if !c.Load("big", &sink) {
+		t.Fatal("oversized entry was evicted by its own store")
+	}
+	if c.Load("small", &sink) {
+		t.Error("older entry survived an over-cap sweep")
+	}
+	// The survivor keeps surviving: a second store of the same key (the
+	// recompute-loop shape) still leaves it servable.
+	c.Store("big", big)
+	if !c.Load("big", &sink) {
+		t.Fatal("oversized entry evicted on re-store")
 	}
 }

@@ -51,6 +51,28 @@ const (
 	KindEmulate Kind = "emulate"
 )
 
+// IsMeasurement reports whether k is a measurement kind — one POST
+// /v1/measure serves. Everything else in the vocabulary is an emulation
+// and belongs to /v1/emulate. Unknown kinds are neither; Validate
+// rejects them before routing matters.
+func (k Kind) IsMeasurement() bool {
+	switch k {
+	case KindBeta, KindSteadyBeta, KindOpenLoop, KindFaultCurve, KindLambda:
+		return true
+	}
+	return false
+}
+
+// Endpoint returns the netemud path that serves kind k. The HTTP
+// handlers, the cluster dispatcher, and the netemuload generator all
+// route through this one mapping so they can never disagree.
+func (k Kind) Endpoint() string {
+	if k.IsMeasurement() {
+		return "/v1/measure"
+	}
+	return "/v1/emulate"
+}
+
 // Emulation modes for KindEmulate.
 const (
 	ModeDirect    = "direct"

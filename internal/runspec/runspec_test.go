@@ -244,3 +244,24 @@ func TestExecuteErrors(t *testing.T) {
 		})
 	}
 }
+
+// TestKindEndpoints pins the kind→endpoint mapping the HTTP handlers,
+// the cluster dispatcher, and netemuload all share: every measurement
+// kind routes to /v1/measure, emulation to /v1/emulate.
+func TestKindEndpoints(t *testing.T) {
+	measurements := []Kind{KindBeta, KindSteadyBeta, KindOpenLoop, KindFaultCurve, KindLambda}
+	for _, k := range measurements {
+		if !k.IsMeasurement() {
+			t.Errorf("kind %q should be a measurement", k)
+		}
+		if got := k.Endpoint(); got != "/v1/measure" {
+			t.Errorf("kind %q endpoint %q, want /v1/measure", k, got)
+		}
+	}
+	if KindEmulate.IsMeasurement() {
+		t.Error("emulate must not be a measurement")
+	}
+	if got := KindEmulate.Endpoint(); got != "/v1/emulate" {
+		t.Errorf("emulate endpoint %q, want /v1/emulate", got)
+	}
+}

@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Options tunes a Dispatcher. The zero value gets sensible production
+// defaults; tests shrink the intervals.
+type Options struct {
+	// VirtualNodes per worker on the hash ring (default
+	// DefaultVirtualNodes).
+	VirtualNodes int
+	// ProbeInterval between /healthz sweeps (default 2s; <= 0 in
+	// NewDispatcher means "default", use Health directly to disable).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one /healthz round trip (default 1s).
+	ProbeTimeout time.Duration
+	// ForwardTimeout bounds one forwarded request attempt (default 90s —
+	// above the worker's own 60s request deadline, so the worker's 504
+	// arrives as a response rather than a transport failure).
+	ForwardTimeout time.Duration
+	// BackoffBase is the first retry's delay, doubling per attempt up to
+	// BackoffMax (defaults 50ms and 1s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// MaxAttempts bounds how many workers one request may try
+	// (default 0 = every worker once).
+	MaxAttempts int
+}
+
+func (o Options) withDefaults() Options {
+	if o.VirtualNodes <= 0 {
+		o.VirtualNodes = DefaultVirtualNodes
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 2 * time.Second
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = time.Second
+	}
+	if o.ForwardTimeout <= 0 {
+		o.ForwardTimeout = 90 * time.Second
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 50 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = time.Second
+	}
+	return o
+}
+
+// ForwardResult is one answered forward: the worker's verbatim response
+// bytes and status, who answered, and how many ring candidates were
+// skipped or failed first (the failover count the coordinator's
+// /metrics exposes).
+type ForwardResult struct {
+	Status    int
+	Body      []byte
+	Worker    string
+	Failovers int
+}
+
+// Dispatcher routes spec requests across the worker pool: ring owner
+// first, then ring successors on failure, with bounded exponential
+// backoff between attempts. Safe for concurrent use.
+type Dispatcher struct {
+	ring   *Ring
+	health *Health
+	client *http.Client
+	opts   Options
+}
+
+// NewDispatcher builds a dispatcher over the pool. Call Start to launch
+// health probing and Close on shutdown.
+func NewDispatcher(workers []string, opts Options) *Dispatcher {
+	opts = opts.withDefaults()
+	ring := NewRing(workers, opts.VirtualNodes)
+	return &Dispatcher{
+		ring:   ring,
+		health: NewHealth(ring.Workers(), opts.ProbeInterval, opts.ProbeTimeout),
+		client: &http.Client{Timeout: opts.ForwardTimeout},
+		opts:   opts,
+	}
+}
+
+// Start launches the background health prober.
+func (d *Dispatcher) Start() { d.health.Start() }
+
+// Close stops probing and releases idle connections.
+func (d *Dispatcher) Close() {
+	d.health.Stop()
+	d.client.CloseIdleConnections()
+}
+
+// Ring exposes the hash ring (tests and diagnostics).
+func (d *Dispatcher) Ring() *Ring { return d.ring }
+
+// Health exposes the liveness tracker (tests and diagnostics).
+func (d *Dispatcher) Health() *Health { return d.health }
+
+// maxForwardBody bounds a worker response read; the largest legitimate
+// response (a full open-loop snapshot) is well under a megabyte.
+const maxForwardBody = 8 << 20
+
+// retryable reports whether a worker's HTTP status should move the
+// request to the next ring successor: 429 (queue full) and 503
+// (draining) mean "this worker can't take it right now", and 502 means
+// something between us and it broke. Everything else — including 4xx
+// validation errors and the worker's own 504 — is a real answer the
+// client should see, identical on every worker by determinism.
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests ||
+		status == http.StatusBadGateway ||
+		status == http.StatusServiceUnavailable
+}
+
+// Forward routes one spec request by its canonical key. It tries the
+// key's ring owner, then each successor: transport failures mark the
+// worker dead (until a probe revives it) and move on; retryable
+// statuses move on without the mark. Between attempts it sleeps the
+// exponential backoff, giving a briefly unreachable worker its slice
+// back instead of stampeding the successor. ok is false when no worker
+// answered — pool empty, every candidate dead or failed — and the
+// caller should degrade to local execution.
+func (d *Dispatcher) Forward(ctx context.Context, key, endpoint string, spec []byte) (res ForwardResult, ok bool) {
+	candidates := d.ring.Successors(key)
+	attempts := 0
+	for _, w := range candidates {
+		if d.opts.MaxAttempts > 0 && attempts >= d.opts.MaxAttempts {
+			break
+		}
+		if !d.health.Alive(w) {
+			res.Failovers++
+			continue
+		}
+		if attempts > 0 {
+			if !d.backoff(ctx, attempts) {
+				break
+			}
+		}
+		attempts++
+		status, body, err := d.post(ctx, w, endpoint, spec)
+		if err != nil {
+			if ctx.Err() != nil {
+				break // the caller gave up, not the worker's fault
+			}
+			d.health.MarkDead(w)
+			res.Failovers++
+			continue
+		}
+		if retryable(status) {
+			res.Failovers++
+			continue
+		}
+		res.Status = status
+		res.Body = body
+		res.Worker = w
+		return res, true
+	}
+	return ForwardResult{Failovers: res.Failovers}, false
+}
+
+// backoff sleeps the bounded exponential delay for retry number n,
+// returning false if ctx expired first.
+func (d *Dispatcher) backoff(ctx context.Context, n int) bool {
+	delay := d.opts.BackoffBase << (n - 1)
+	if delay > d.opts.BackoffMax || delay <= 0 {
+		delay = d.opts.BackoffMax
+	}
+	t := time.NewTimer(delay)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func (d *Dispatcher) post(ctx context.Context, worker, endpoint string, spec []byte) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		"http://"+worker+endpoint, bytes.NewReader(spec))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxForwardBody))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, body, nil
+}

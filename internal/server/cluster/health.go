@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Health tracks which workers currently answer /healthz. Two signals
+// feed it: a background probe loop (authoritative, runs every
+// ProbeInterval) and MarkDead feedback from the dispatcher when a
+// forward fails at the transport layer — the latter takes a worker out
+// of rotation immediately instead of waiting out a probe period, and
+// the next successful probe puts it back.
+//
+// Workers start alive: a coordinator that boots before its pool should
+// try to forward (and learn from the failures) rather than silently run
+// everything locally until the first probe lands.
+type Health struct {
+	workers  []string
+	interval time.Duration
+	client   *http.Client
+
+	mu      sync.Mutex
+	alive   map[string]bool
+	started bool // under mu; whether Start launched anything to wait for
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewHealth builds a prober over the worker pool. interval <= 0
+// disables the background loop (MarkDead/MarkAlive feedback still
+// works — the unit tests and the dispatcher's transport feedback drive
+// state by hand). probeTimeout bounds each /healthz round trip.
+func NewHealth(workers []string, interval, probeTimeout time.Duration) *Health {
+	if probeTimeout <= 0 {
+		probeTimeout = time.Second
+	}
+	h := &Health{
+		workers:  workers,
+		interval: interval,
+		client:   &http.Client{Timeout: probeTimeout},
+		alive:    make(map[string]bool, len(workers)),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, w := range workers {
+		h.alive[w] = true
+	}
+	return h
+}
+
+// Start launches the probe loop (one immediate sweep, then every
+// interval). No-op when the loop is disabled or the pool is empty.
+func (h *Health) Start() {
+	if h.interval <= 0 || len(h.workers) == 0 {
+		return
+	}
+	h.mu.Lock()
+	h.started = true
+	h.mu.Unlock()
+	go func() {
+		defer close(h.done)
+		h.probeAll()
+		t := time.NewTicker(h.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				h.probeAll()
+			case <-h.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop ends the probe loop and waits for it to exit. Safe to call
+// whether or not Start ever launched one.
+func (h *Health) Stop() {
+	h.stopOnce.Do(func() { close(h.stop) })
+	h.mu.Lock()
+	started := h.started
+	h.mu.Unlock()
+	if started {
+		<-h.done
+	}
+}
+
+func (h *Health) probeAll() {
+	for _, w := range h.workers {
+		alive := h.probe(w)
+		h.mu.Lock()
+		h.alive[w] = alive
+		h.mu.Unlock()
+	}
+}
+
+func (h *Health) probe(worker string) bool {
+	resp, err := h.client.Get("http://" + worker + "/healthz")
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// Alive reports whether worker is currently in rotation.
+func (h *Health) Alive(worker string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.alive[worker]
+}
+
+// AliveCount returns how many workers are currently in rotation.
+func (h *Health) AliveCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for _, ok := range h.alive {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// MarkDead takes a worker out of rotation until the next successful
+// probe; the dispatcher calls it on transport-level forward failures.
+func (h *Health) MarkDead(worker string) {
+	h.mu.Lock()
+	h.alive[worker] = false
+	h.mu.Unlock()
+}
+
+// MarkAlive puts a worker back in rotation (probe loop and tests).
+func (h *Health) MarkAlive(worker string) {
+	h.mu.Lock()
+	h.alive[worker] = true
+	h.mu.Unlock()
+}

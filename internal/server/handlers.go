@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -99,17 +100,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// measureKinds is what POST /v1/measure accepts; everything else in the
-// RunSpec vocabulary is an emulation and belongs to /v1/emulate.
-func measureKind(k runspec.Kind) bool {
-	switch k {
-	case runspec.KindBeta, runspec.KindSteadyBeta, runspec.KindOpenLoop,
-		runspec.KindFaultCurve, runspec.KindLambda:
-		return true
-	}
-	return false
-}
-
 // The kind gates redirect known-but-misrouted kinds to the right
 // endpoint; kinds outside the vocabulary fall through to Validate's
 // "unknown kind" error.
@@ -124,7 +114,7 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleEmulate(w http.ResponseWriter, r *http.Request) {
 	s.handleSpec(w, r, runspec.KindEmulate, func(k runspec.Kind) error {
-		if measureKind(k) {
+		if k.IsMeasurement() {
 			return fmt.Errorf("kind %q is not an emulation; POST /v1/measure for measurements", k)
 		}
 		return nil
@@ -237,6 +227,17 @@ func (s *Server) compute(spec runspec.Spec, key string) (body []byte, status int
 		s.metrics.diskMiss.Add(1)
 	}
 
+	// Coordinator path: hand the computation to the worker owning this
+	// key on the hash ring. Forwarded work bypasses local admission —
+	// the worker's own queue is the backpressure point — and only a
+	// pool-wide failure falls through to local execution below.
+	if s.cfg.Dispatch != nil {
+		if body, status, errMsg, ok := s.forward(spec, key); ok {
+			return body, status, errMsg
+		}
+		s.metrics.fallbackLocal.Add(1)
+	}
+
 	if err := s.admission.acquire(s.execCtx); err != nil {
 		if errors.Is(err, errQueueFull) {
 			s.metrics.shed429.Add(1)
@@ -265,6 +266,38 @@ func (s *Server) compute(spec runspec.Spec, key string) (body []byte, status int
 		s.cfg.Cache.Store(responseDiskKey(key), json.RawMessage(body))
 	}
 	return body, http.StatusOK, ""
+}
+
+// forward dispatches one computation to the cluster, returning ok=false
+// when no worker answered (the caller then runs it locally). A worker's
+// 200 is cached and served verbatim — the bytes are what this server
+// would have produced itself, by the determinism contract. A worker's
+// non-retryable error is replayed through writeError with the worker's
+// own message, so the client sees the same body a single-node server
+// would have sent.
+func (s *Server) forward(spec runspec.Spec, key string) (body []byte, status int, errMsg string, ok bool) {
+	wire, err := json.Marshal(spec)
+	if err != nil {
+		return nil, 0, "", false
+	}
+	res, fok := s.cfg.Dispatch.Forward(s.execCtx, key, spec.Kind.Endpoint(), wire)
+	s.metrics.failovers.Add(int64(res.Failovers))
+	if !fok {
+		return nil, 0, "", false
+	}
+	s.metrics.forwarded.Add(1)
+	if res.Status == http.StatusOK {
+		s.memoStore(key, res.Body)
+		if s.cfg.Cache != nil {
+			s.cfg.Cache.Store(responseDiskKey(key), json.RawMessage(res.Body))
+		}
+		return res.Body, http.StatusOK, "", true
+	}
+	var e errorBody
+	if json.Unmarshal(res.Body, &e) == nil && e.Error != "" {
+		return nil, res.Status, e.Error, true
+	}
+	return nil, res.Status, strings.TrimSpace(string(res.Body)), true
 }
 
 // handleTables serves the paper's reproduced tables as plain text:

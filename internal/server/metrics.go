@@ -27,6 +27,12 @@ type metrics struct {
 	timeout   atomic.Int64 // 504: deadline expired before the result
 	panics    atomic.Int64 // handler panics converted to 500
 
+	// Coordinator-only counters; surfaced under the "cluster" key of the
+	// snapshot when a dispatcher is configured.
+	forwarded     atomic.Int64 // computations answered by a worker
+	failovers     atomic.Int64 // ring candidates skipped or failed en route
+	fallbackLocal atomic.Int64 // computations run locally: no worker answered
+
 	mu     sync.Mutex
 	perEnd map[string]*endpointStats
 }
@@ -72,7 +78,18 @@ type metricsSnapshot struct {
 	ShedDraining  int64                      `json:"shed_draining"`
 	Timeouts      int64                      `json:"timeouts"`
 	Panics        int64                      `json:"panics"`
+	Cluster       *clusterReport             `json:"cluster,omitempty"`
 	Endpoints     map[string]endpointReport  `json:"endpoints"`
+}
+
+// clusterReport is the coordinator's view of its pool: sizing, liveness,
+// and where computations actually ran.
+type clusterReport struct {
+	Workers        int   `json:"workers"`
+	WorkersAlive   int   `json:"workers_alive"`
+	Forwarded      int64 `json:"forwarded"`
+	Failovers      int64 `json:"failovers"`
+	LocalFallbacks int64 `json:"local_fallbacks"`
 }
 
 type endpointReport struct {
@@ -137,10 +154,12 @@ func httpStatusKey(code int) string {
 	return string([]byte{digits[code/100], digits[code/10%10], digits[code%10]})
 }
 
-func (m *metrics) serveHTTP(w http.ResponseWriter, _ *http.Request) {
+// handleMetrics serves the full snapshot — including the cluster
+// section on coordinators, which the bare metrics struct cannot see.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	// Map keys marshal in sorted order, so the document is already
 	// deterministic for readable diffs.
-	snap := m.snapshot()
+	snap := s.Metrics()
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/server/cluster"
 )
 
 // Config carries netemud's tuning knobs. The zero value is usable:
@@ -47,6 +48,12 @@ type Config struct {
 	// Cache, when non-nil, persists responses across restarts keyed by
 	// (canonical spec, measurement version).
 	Cache *experiment.DiskCache
+	// Dispatch, when non-nil, makes this server a cluster coordinator:
+	// computations are forwarded to the worker owning the spec's
+	// canonical key on the hash ring (ring successors on failure) and
+	// only run locally when no worker answers. The caller owns the
+	// dispatcher's lifecycle (Start before serving, Close on shutdown).
+	Dispatch *cluster.Dispatcher
 }
 
 func (c Config) withDefaults() Config {
@@ -112,7 +119,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/emulate", s.instrument("/v1/emulate", s.handleEmulate))
 	mux.HandleFunc("GET /v1/tables/{id}", s.instrument("/v1/tables", s.handleTables))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /metrics", s.metrics.serveHTTP)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
 	return s
 }
@@ -122,8 +129,23 @@ func New(cfg Config) *Server {
 // process.
 func (s *Server) Handler() http.Handler { return s.recoverPanics(s.mux) }
 
-// Metrics exposes the counters for tests and embedding processes.
-func (s *Server) Metrics() metricsSnapshot { return s.metrics.snapshot() }
+// Metrics exposes the counters for tests and embedding processes. On a
+// coordinator the snapshot carries the cluster section: pool size, how
+// many workers currently answer /healthz, and the forward/failover/
+// fallback counters the failover tests and dashboards read.
+func (s *Server) Metrics() metricsSnapshot {
+	snap := s.metrics.snapshot()
+	if d := s.cfg.Dispatch; d != nil {
+		snap.Cluster = &clusterReport{
+			Workers:        len(d.Ring().Workers()),
+			WorkersAlive:   d.Health().AliveCount(),
+			Forwarded:      s.metrics.forwarded.Load(),
+			Failovers:      s.metrics.failovers.Load(),
+			LocalFallbacks: s.metrics.fallbackLocal.Load(),
+		}
+	}
+	return snap
+}
 
 // BeginDrain moves the server into draining mode: new measurement and
 // emulation requests are shed with 503, while requests already admitted

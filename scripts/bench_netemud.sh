@@ -1,0 +1,74 @@
+#!/bin/sh
+# Boot a local netemud cluster (coordinator + 2 workers), replay a
+# seeded netemuload plan against it, and record latency/throughput as
+# BENCH_netemud.json at the repo root. With DIFF_SINGLE=1 the same plan
+# also replays against a single-node netemud and the saved response
+# bodies are diffed file-by-file — the cluster-parity contract: a
+# coordinator's responses must be byte-identical to a single node's.
+#
+# Usage:  scripts/bench_netemud.sh [output.json]
+#
+# Environment:
+#   REQUESTS     plan length (default 120)
+#   CONCURRENCY  replay workers (default 4)
+#   SEED         plan seed (default 1)
+#   BASE_PORT    first of three consecutive localhost ports (default 18090)
+#   DIFF_SINGLE  1 = also replay against a single node and diff responses
+set -eu
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_netemud.json}"
+requests="${REQUESTS:-120}"
+concurrency="${CONCURRENCY:-4}"
+seed="${SEED:-1}"
+base="${BASE_PORT:-18090}"
+w1=$((base)); w2=$((base + 1)); coord=$((base + 2)); single=$((base + 3))
+
+# Track daemon PIDs by hand: `jobs -p` inside the trap's command
+# substitution runs in a subshell with an empty job table, which would
+# leave the daemons alive holding stdout (and hang a piped caller).
+pids=""
+bin="$(mktemp -d)"
+trap 'for p in $pids; do kill "$p" 2>/dev/null || true; done; rm -rf "$bin"' EXIT
+go build -o "$bin/netemud" ./cmd/netemud
+go build -o "$bin/netemuload" ./cmd/netemuload
+
+wait_healthy() {
+    for _ in $(seq 1 50); do
+        curl -sf "http://127.0.0.1:$1/healthz" >/dev/null 2>&1 && return 0
+        sleep 0.2
+    done
+    echo "port $1 never became healthy" >&2
+    return 1
+}
+
+"$bin/netemud" -addr "127.0.0.1:$w1" -worker &
+pids="$pids $!"
+"$bin/netemud" -addr "127.0.0.1:$w2" -worker &
+pids="$pids $!"
+wait_healthy "$w1"
+wait_healthy "$w2"
+"$bin/netemud" -addr "127.0.0.1:$coord" \
+    -coordinator -workers "127.0.0.1:$w1,127.0.0.1:$w2" \
+    -health-interval 500ms &
+pids="$pids $!"
+wait_healthy "$coord"
+
+resp_cluster="$(mktemp -d)"
+"$bin/netemuload" -target "http://127.0.0.1:$coord" \
+    -requests "$requests" -concurrency "$concurrency" -seed "$seed" \
+    -responses "$resp_cluster" -fail-on-error -o "$out"
+echo "wrote $out"
+
+if [ "${DIFF_SINGLE:-0}" = "1" ]; then
+    "$bin/netemud" -addr "127.0.0.1:$single" &
+    pids="$pids $!"
+    wait_healthy "$single"
+    resp_single="$(mktemp -d)"
+    "$bin/netemuload" -target "http://127.0.0.1:$single" \
+        -requests "$requests" -concurrency "$concurrency" -seed "$seed" \
+        -responses "$resp_single" -fail-on-error -o /dev/null
+    diff -r "$resp_cluster" "$resp_single"
+    echo "cluster responses byte-identical to single-node ($requests requests)"
+    rm -rf "$resp_single"
+fi
+rm -rf "$resp_cluster"
