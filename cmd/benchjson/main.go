@@ -32,6 +32,17 @@
 // file (so CI can upload both sides as artifacts) instead of stdout.
 // Benchmarks present on only one side are reported but never fail the
 // check — renames should not break CI runs of unrelated changes.
+//
+// Service-latency guard mode (no stdin):
+//
+//	benchjson -netemud-check BENCH_netemud.json -netemud-fresh fresh.json
+//
+// compares the p99 request latency of two netemuload reports (the
+// BENCH_netemud.json schema) and exits 1 when the fresh p99 exceeds the
+// committed one by more than -netemud-threshold (fractional; the default
+// 1.0 tolerates a 2x swing — shared CI runners are noisy, this guards
+// against order-of-magnitude serving-path regressions, not percent-level
+// drift).
 package main
 
 import (
@@ -70,7 +81,19 @@ func main() {
 	threshold := flag.Float64("threshold", 0.25, "fractional ns/op regression tolerance for -check (0.25 = 25%)")
 	prefix := flag.String("prefix", "BenchmarkSimStep", "benchmark name prefix the -check comparison covers")
 	outPath := flag.String("o", "", "write the fresh JSON to this file instead of stdout")
+	netemudCheck := flag.String("netemud-check", "", "committed BENCH_netemud.json whose p99 latency to guard (skips stdin; needs -netemud-fresh)")
+	netemudFresh := flag.String("netemud-fresh", "", "fresh netemuload report to compare against -netemud-check")
+	netemudThreshold := flag.Float64("netemud-threshold", 1.0, "fractional p99 latency tolerance for -netemud-check (1.0 = 2x)")
 	flag.Parse()
+	if *netemudCheck != "" || *netemudFresh != "" {
+		if *netemudCheck == "" || *netemudFresh == "" {
+			log.Fatal("-netemud-check and -netemud-fresh must be given together")
+		}
+		if !checkNetemudLatency(*netemudCheck, *netemudFresh, *netemudThreshold) {
+			os.Exit(1)
+		}
+		return
+	}
 	var out benchFile
 	index := map[string]*benchResult{}
 	sc := bufio.NewScanner(os.Stdin)
@@ -181,6 +204,51 @@ func checkRegressions(fresh benchFile, committedPath, prefix string, threshold f
 		fmt.Fprintf(os.Stderr, "benchjson: no benchmarks matching prefix %q on both sides\n", prefix)
 		return false
 	}
+	return ok
+}
+
+// netemudReport is the slice of the BENCH_netemud.json schema
+// (cmd/netemuload's benchReport) the latency guard reads.
+type netemudReport struct {
+	Requests  int     `json:"requests"`
+	RPS       float64 `json:"throughput_rps"`
+	LatencyUS struct {
+		P50 int `json:"p50"`
+		P99 int `json:"p99"`
+	} `json:"latency_us"`
+}
+
+func loadNetemudReport(path string) netemudReport {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rep netemudReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	if rep.LatencyUS.P99 <= 0 {
+		log.Fatalf("%s: no p99 latency — not a netemuload report?", path)
+	}
+	return rep
+}
+
+// checkNetemudLatency guards the serving path's tail latency: the fresh
+// replay's p99 may not exceed the committed record's by more than the
+// threshold fraction.
+func checkNetemudLatency(committedPath, freshPath string, threshold float64) bool {
+	committed := loadNetemudReport(committedPath)
+	fresh := loadNetemudReport(freshPath)
+	ratio := float64(fresh.LatencyUS.P99) / float64(committed.LatencyUS.P99)
+	verdict := "ok"
+	ok := true
+	if ratio > 1+threshold {
+		verdict = "REGRESSED"
+		ok = false
+	}
+	fmt.Fprintf(os.Stderr, "  %-9s netemud p99 %6dµs -> %6dµs (%+.1f%%, tolerance %+.0f%%); p50 %dµs -> %dµs, %.1f -> %.1f req/s\n",
+		verdict, committed.LatencyUS.P99, fresh.LatencyUS.P99, 100*(ratio-1), 100*threshold,
+		committed.LatencyUS.P50, fresh.LatencyUS.P50, committed.RPS, fresh.RPS)
 	return ok
 }
 

@@ -7,8 +7,12 @@
 //	POST /v1/measure        β / steady-β / open-loop / fault-curve / λ
 //	POST /v1/emulate        direct / circuit / pipelined / mapped / degraded
 //	GET  /v1/tables/{1..4}  the paper's reproduced tables (plain text)
-//	GET  /healthz           liveness
+//	GET  /healthz           liveness (503 "draining" once a drain begins)
 //	GET  /metrics           request/cache/coalescing/cluster counters + latency
+//	POST /drainz            begin a graceful drain: healthz flips to 503 so
+//	                        coordinators probe this worker out of rotation,
+//	                        in-flight work finishes, new work spills to ring
+//	                        successors
 //
 // The POST endpoints take a JSON runspec.Spec and return the
 // json.MarshalIndent of its RunResult — byte-identical to what
@@ -121,6 +125,7 @@ func main() {
 		dispatch = cluster.NewDispatcher(pool, cluster.Options{
 			ProbeInterval:  *healthInterval,
 			ForwardTimeout: *forwardTimeout,
+			Validate:       server.ValidateWorkerBody,
 		})
 		dispatch.Start()
 		defer dispatch.Close()

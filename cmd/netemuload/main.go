@@ -22,7 +22,6 @@ import (
 	"fmt"
 	"io"
 	"log"
-	"math/rand"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -31,17 +30,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/loadplan"
 	"repro/internal/routing"
-	"repro/internal/runspec"
 )
-
-type request struct {
-	idx    int
-	kind   string // stats label: a runspec kind or "tables"
-	method string
-	path   string
-	body   []byte // nil for GET
-}
 
 func main() {
 	log.SetFlags(0)
@@ -70,9 +61,9 @@ func main() {
 		}
 	}
 
-	plan := buildPlan(*seed, *requests)
+	plan := loadplan.Build(*seed, *requests)
 	stats := newStats()
-	queue := make(chan request)
+	queue := make(chan loadplan.Request)
 	var wg sync.WaitGroup
 	client := &http.Client{Timeout: 5 * time.Minute}
 	start := time.Now()
@@ -112,86 +103,15 @@ func main() {
 	}
 }
 
-// buildPlan generates the deterministic request mix. Weights favour the
-// cheap cache-friendly kinds so a replay exercises routing and caching
-// rather than saturating one slow simulation; seeds and machine shapes
-// vary so the canonical keys spread across a cluster's hash ring.
-func buildPlan(seed int64, n int) []request {
-	rng := rand.New(rand.NewSource(seed))
-	meshes := []int{16, 25, 36, 64}
-	cubes := []int{8, 16}
-	plan := make([]request, 0, n)
-	push := func(i int, kind runspec.Kind, spec runspec.Spec) {
-		spec.Kind = kind
-		body, err := json.Marshal(spec)
-		if err != nil {
-			log.Fatal(err)
-		}
-		plan = append(plan, request{
-			idx: i, kind: string(kind), method: http.MethodPost,
-			path: kind.Endpoint(), body: body,
-		})
-	}
-	mesh := func() *runspec.MachineSpec {
-		return &runspec.MachineSpec{Family: "Mesh", Dim: 2, Size: meshes[rng.Intn(len(meshes))]}
-	}
-	cube := func() *runspec.MachineSpec {
-		return &runspec.MachineSpec{Family: "WeakHypercube", Dim: 3 + rng.Intn(2), Size: cubes[rng.Intn(len(cubes))]}
-	}
-	machine := func() *runspec.MachineSpec {
-		if rng.Intn(3) == 0 {
-			return cube()
-		}
-		return mesh()
-	}
-	for i := 0; i < n; i++ {
-		runSeed := int64(rng.Intn(8))
-		switch p := rng.Intn(100); {
-		case p < 30: // beta
-			push(i, runspec.KindBeta, runspec.Spec{
-				Machine: machine(), LoadFactors: []int{2}, Trials: 1, Seed: runSeed,
-			})
-		case p < 45: // lambda
-			push(i, runspec.KindLambda, runspec.Spec{Machine: machine(), Seed: runSeed})
-		case p < 65: // open-loop
-			push(i, runspec.KindOpenLoop, runspec.Spec{
-				Machine: mesh(), Rate: 1 + rng.Float64(), Ticks: 64, Seed: runSeed,
-			})
-		case p < 75: // steady-beta
-			push(i, runspec.KindSteadyBeta, runspec.Spec{
-				Machine: mesh(), Ticks: 48, Iters: 2, Seed: runSeed,
-			})
-		case p < 80: // fault-curve
-			push(i, runspec.KindFaultCurve, runspec.Spec{
-				Machine: mesh(), FaultFracs: []float64{0.1}, Ticks: 40, Seed: runSeed,
-			})
-		case p < 90: // emulate
-			mode := runspec.ModeDirect
-			if rng.Intn(2) == 0 {
-				mode = runspec.ModeMapped
-			}
-			push(i, runspec.KindEmulate, runspec.Spec{
-				Guest: mesh(), Host: mesh(), Steps: 2, Mode: mode, Seed: runSeed,
-			})
-		default: // tables
-			plan = append(plan, request{
-				idx: i, kind: "tables", method: http.MethodGet,
-				path: fmt.Sprintf("/v1/tables/%d", 1+rng.Intn(4)),
-			})
-		}
-	}
-	return plan
-}
-
-func replay(client *http.Client, base string, req request, responsesDir string, st *stats) {
+func replay(client *http.Client, base string, req loadplan.Request, responsesDir string, st *stats) {
 	var (
 		status int
 		body   []byte
 	)
 	start := time.Now()
-	httpReq, err := http.NewRequest(req.method, base+req.path, bytes.NewReader(req.body))
+	httpReq, err := http.NewRequest(req.Method, base+req.Path, bytes.NewReader(req.Body))
 	if err == nil {
-		if req.body != nil {
+		if req.Body != nil {
 			httpReq.Header.Set("Content-Type", "application/json")
 		}
 		var resp *http.Response
@@ -206,13 +126,13 @@ func replay(client *http.Client, base string, req request, responsesDir string, 
 		status = 0 // transport failure bucket
 		body = []byte(err.Error())
 	}
-	st.record(req.kind, status, micros)
+	st.record(req.Kind, status, micros)
 	if responsesDir != "" {
-		name := fmt.Sprintf("resp-%04d.json", req.idx)
+		name := fmt.Sprintf("resp-%04d.json", req.Idx)
 		if status != http.StatusOK {
 			// Fold the status into the name so a diff between two replays
 			// catches status divergence, not just body divergence.
-			name = fmt.Sprintf("resp-%04d.err-%d", req.idx, status)
+			name = fmt.Sprintf("resp-%04d.err-%d", req.Idx, status)
 		}
 		if werr := os.WriteFile(filepath.Join(responsesDir, name), body, 0o644); werr != nil {
 			log.Printf("saving %s: %v", name, werr)

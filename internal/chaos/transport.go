@@ -1,0 +1,183 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Error is the transport-level failure the injector returns for drop
+// and crash faults, distinguishable from real network errors in logs.
+type Error struct {
+	Req   uint64
+	Fault string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("chaos: injected %s (request %d)", e.Fault, e.Req)
+}
+
+// TransportOptions tunes a Transport. The zero value is usable.
+type TransportOptions struct {
+	// Base is the wrapped RoundTripper (default http.DefaultTransport).
+	Base http.RoundTripper
+	// TimePerRequest is the virtual-time quantum: request i runs at
+	// virtual time i × TimePerRequest, which is what timeline clauses
+	// (@t30s) trigger against. Default 1s, so "t30s" means "from the
+	// 30th request on" — deterministic, unlike wall time.
+	TimePerRequest time.Duration
+}
+
+// Transport is the chaos http.RoundTripper: it wraps a real transport
+// and injects the plan's faults, with every decision a pure function of
+// (seed, request index). Request indices are assigned atomically in
+// issue order, so a sequential replay (cmd/netemuchaos's default) maps
+// index i to the i-th request exactly; concurrent callers still get
+// deterministic *decisions* per index, but which request draws which
+// index then depends on scheduling.
+//
+// Install it as cluster.Options.Transport to aim chaos at a
+// coordinator's forward path. Health probes deliberately do not pass
+// through it — probe traffic is wall-clock-paced and would otherwise
+// perturb the request-index stream that reproducibility keys off.
+type Transport struct {
+	seed    int64
+	plan    Plan
+	workers map[string]int // host:port -> 1-based pool index
+	base    http.RoundTripper
+	perReq  time.Duration
+
+	idx atomic.Uint64
+
+	mu    sync.Mutex
+	trace []string
+}
+
+// NewTransport builds the injector. workers is the pool in -workers
+// order: workers[0] is w1 in the plan grammar. Requests to hosts
+// outside the pool (or with the zero plan) pass through untouched aside
+// from per-request faults, which apply to every request the transport
+// carries.
+func NewTransport(seed int64, plan Plan, workers []string, opts TransportOptions) *Transport {
+	if opts.Base == nil {
+		opts.Base = http.DefaultTransport
+	}
+	if opts.TimePerRequest <= 0 {
+		opts.TimePerRequest = time.Second
+	}
+	index := make(map[string]int, len(workers))
+	for i, w := range workers {
+		index[w] = i + 1
+	}
+	return &Transport{
+		seed:    seed,
+		plan:    plan,
+		workers: index,
+		base:    opts.Base,
+		perReq:  opts.TimePerRequest,
+	}
+}
+
+// Requests returns how many requests the transport has carried.
+func (t *Transport) Requests() uint64 { return t.idx.Load() }
+
+// Trace returns the injected-fault log: one line per fault, in
+// injection order ("r0007 drop", "r0012 latency 50ms",
+// "r0030 crashed w2"). With a sequential replay the trace is a pure
+// function of (seed, plan, request count) — the reproducibility digest
+// cmd/netemuchaos folds into its run summary.
+func (t *Transport) Trace() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.trace...)
+}
+
+func (t *Transport) record(i uint64, format string, args ...any) {
+	t.mu.Lock()
+	t.trace = append(t.trace, fmt.Sprintf("r%04d ", i)+fmt.Sprintf(format, args...))
+	t.mu.Unlock()
+}
+
+// RoundTrip applies the plan to one request: worker-lifecycle state
+// first (crashed fails, frozen hangs until the request's deadline),
+// then the per-request faults in clause order — latency sleeps, drop
+// fails without forwarding, truncate forwards and then cuts the
+// response body in half with headers fixed up, so only downstream body
+// validation can tell.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	i := t.idx.Add(1) - 1
+	vt := time.Duration(i) * t.perReq
+
+	if wid := t.workers[req.URL.Host]; wid > 0 {
+		switch t.plan.WorkerStateAt(wid, vt) {
+		case Crashed:
+			t.record(i, "crashed w%d", wid)
+			return nil, &Error{Req: i, Fault: fmt.Sprintf("crash of w%d", wid)}
+		case Frozen:
+			t.record(i, "frozen w%d", wid)
+			<-req.Context().Done()
+			return nil, req.Context().Err()
+		}
+	}
+
+	truncate := false
+	for _, f := range t.plan.Decide(t.seed, i) {
+		switch f.Kind {
+		case Latency:
+			t.record(i, "latency %s", f.Delay)
+			timer := time.NewTimer(f.Delay)
+			select {
+			case <-timer.C:
+			case <-req.Context().Done():
+				timer.Stop()
+				return nil, req.Context().Err()
+			}
+		case Drop:
+			t.record(i, "drop")
+			return nil, &Error{Req: i, Fault: "drop"}
+		case Truncate:
+			truncate = true
+		}
+	}
+
+	resp, err := t.base.RoundTrip(req)
+	if err != nil || !truncate {
+		return resp, err
+	}
+
+	body, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil {
+		return nil, rerr
+	}
+	cut := body[:len(body)/2]
+	t.record(i, "truncate %d -> %d bytes", len(body), len(cut))
+	resp.Body = io.NopCloser(bytes.NewReader(cut))
+	resp.ContentLength = int64(len(cut))
+	resp.Header.Set("Content-Length", strconv.Itoa(len(cut)))
+	return resp, nil
+}
+
+// NewProxy returns a reverse proxy onto target ("host:port") that
+// routes its upstream traffic through rt — the shell-soak shape: park a
+// chaos proxy in front of a stock worker process and point the
+// coordinator at the proxy, no process changes anywhere. rt is
+// typically a *Transport whose pool is just the one target.
+func NewProxy(target string, rt http.RoundTripper) http.Handler {
+	p := httputil.NewSingleHostReverseProxy(&url.URL{Scheme: "http", Host: target})
+	p.Transport = rt
+	p.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
+		// A chaos-injected transport failure surfaces as the 502 the
+		// dispatcher's retry taxonomy already treats as "spill to the
+		// ring successor".
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusBadGateway)
+	}
+	return p
+}

@@ -1,0 +1,96 @@
+// Package loadplan generates the deterministic request mix that
+// cmd/netemuload replays for benchmarks and cmd/netemuchaos replays
+// under fault injection. A plan is a pure function of (seed, n): the
+// same inputs generate byte-identical request bodies in the same order,
+// which is what makes two replays — against different deployments, or
+// with and without chaos — directly comparable response by response.
+package loadplan
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+
+	"repro/internal/runspec"
+)
+
+// Request is one planned request. Body is nil for GETs.
+type Request struct {
+	Idx    int
+	Kind   string // stats label: a runspec kind or "tables"
+	Method string
+	Path   string
+	Body   []byte
+}
+
+// Build generates the deterministic request mix. Weights favour the
+// cheap cache-friendly kinds so a replay exercises routing and caching
+// rather than saturating one slow simulation; seeds and machine shapes
+// vary so the canonical keys spread across a cluster's hash ring.
+func Build(seed int64, n int) []Request {
+	rng := rand.New(rand.NewSource(seed))
+	meshes := []int{16, 25, 36, 64}
+	cubes := []int{8, 16}
+	plan := make([]Request, 0, n)
+	push := func(i int, kind runspec.Kind, spec runspec.Spec) {
+		spec.Kind = kind
+		body, err := json.Marshal(spec)
+		if err != nil {
+			panic("loadplan: marshaling a literal spec: " + err.Error())
+		}
+		plan = append(plan, Request{
+			Idx: i, Kind: string(kind), Method: http.MethodPost,
+			Path: kind.Endpoint(), Body: body,
+		})
+	}
+	mesh := func() *runspec.MachineSpec {
+		return &runspec.MachineSpec{Family: "Mesh", Dim: 2, Size: meshes[rng.Intn(len(meshes))]}
+	}
+	cube := func() *runspec.MachineSpec {
+		return &runspec.MachineSpec{Family: "WeakHypercube", Dim: 3 + rng.Intn(2), Size: cubes[rng.Intn(len(cubes))]}
+	}
+	machine := func() *runspec.MachineSpec {
+		if rng.Intn(3) == 0 {
+			return cube()
+		}
+		return mesh()
+	}
+	for i := 0; i < n; i++ {
+		runSeed := int64(rng.Intn(8))
+		switch p := rng.Intn(100); {
+		case p < 30: // beta
+			push(i, runspec.KindBeta, runspec.Spec{
+				Machine: machine(), LoadFactors: []int{2}, Trials: 1, Seed: runSeed,
+			})
+		case p < 45: // lambda
+			push(i, runspec.KindLambda, runspec.Spec{Machine: machine(), Seed: runSeed})
+		case p < 65: // open-loop
+			push(i, runspec.KindOpenLoop, runspec.Spec{
+				Machine: mesh(), Rate: 1 + rng.Float64(), Ticks: 64, Seed: runSeed,
+			})
+		case p < 75: // steady-beta
+			push(i, runspec.KindSteadyBeta, runspec.Spec{
+				Machine: mesh(), Ticks: 48, Iters: 2, Seed: runSeed,
+			})
+		case p < 80: // fault-curve
+			push(i, runspec.KindFaultCurve, runspec.Spec{
+				Machine: mesh(), FaultFracs: []float64{0.1}, Ticks: 40, Seed: runSeed,
+			})
+		case p < 90: // emulate
+			mode := runspec.ModeDirect
+			if rng.Intn(2) == 0 {
+				mode = runspec.ModeMapped
+			}
+			push(i, runspec.KindEmulate, runspec.Spec{
+				Guest: mesh(), Host: mesh(), Steps: 2, Mode: mode, Seed: runSeed,
+			})
+		default: // tables
+			plan = append(plan, Request{
+				Idx: i, Kind: "tables", Method: http.MethodGet,
+				Path: fmt.Sprintf("/v1/tables/%d", 1+rng.Intn(4)),
+			})
+		}
+	}
+	return plan
+}

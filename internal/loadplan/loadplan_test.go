@@ -1,0 +1,56 @@
+package loadplan
+
+import (
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"testing"
+)
+
+func TestBuildIsDeterministic(t *testing.T) {
+	a := Build(42, 120)
+	b := Build(42, 120)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different plans")
+	}
+	if len(a) != 120 {
+		t.Fatalf("plan length %d, want 120", len(a))
+	}
+	c := Build(43, 120)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+func TestBuildRequestsAreWellFormed(t *testing.T) {
+	plan := Build(7, 200)
+	kinds := map[string]int{}
+	for i, r := range plan {
+		if r.Idx != i {
+			t.Fatalf("request %d carries idx %d", i, r.Idx)
+		}
+		kinds[r.Kind]++
+		switch r.Method {
+		case http.MethodPost:
+			if !json.Valid(r.Body) {
+				t.Fatalf("request %d body is not JSON: %s", i, r.Body)
+			}
+			if r.Path != "/v1/measure" && r.Path != "/v1/emulate" {
+				t.Fatalf("request %d POSTs to %q", i, r.Path)
+			}
+		case http.MethodGet:
+			if r.Body != nil {
+				t.Fatalf("GET request %d carries a body", i)
+			}
+		default:
+			t.Fatalf("request %d has method %q", i, r.Method)
+		}
+	}
+	// The mix must actually mix: every weighted kind appears in a
+	// 200-request plan with overwhelming probability.
+	for _, k := range []string{"beta", "lambda", "open-loop", "steady-beta", "fault-curve", "emulate", "tables"} {
+		if kinds[k] == 0 {
+			t.Fatalf("kind %q never appears in a 200-request plan: %v", k, kinds)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -85,7 +86,7 @@ func TestHealthProbeMarksDeadAndRevives(t *testing.T) {
 	var hits atomic.Int64
 	ts := healthzServer(t, &hits, 200, "{}")
 	w := addrOf(ts)
-	h := NewHealth([]string{w}, 10*time.Millisecond, 500*time.Millisecond)
+	h := NewHealth([]string{w}, 10*time.Millisecond, 500*time.Millisecond, 3)
 	h.Start()
 	defer h.Stop()
 
@@ -254,5 +255,199 @@ func TestForwardEmptyOrDeadPoolReportsNotOK(t *testing.T) {
 	}
 	if _, ok := d2.Forward(context.Background(), "k", "/v1/measure", []byte("{}")); ok {
 		t.Fatal("marked-dead pool forwarded somewhere")
+	}
+}
+
+func TestBreakerOpensHalfOpensAndCloses(t *testing.T) {
+	h := NewHealth([]string{"w:1"}, 0, 0, 3)
+	if !h.Allow("w:1") || h.State("w:1") != Closed {
+		t.Fatal("breaker not closed at start")
+	}
+	h.RecordFailure("w:1")
+	h.RecordFailure("w:1")
+	if !h.Allow("w:1") {
+		t.Fatal("breaker opened below threshold")
+	}
+	h.RecordFailure("w:1")
+	if h.Allow("w:1") || h.State("w:1") != Open {
+		t.Fatalf("three consecutive failures did not open the breaker: %v", h.State("w:1"))
+	}
+	if h.AliveCount() != 0 {
+		t.Fatalf("alive count %d with an open breaker, want 0", h.AliveCount())
+	}
+	// A successful probe (here: MarkAlive, what the loop calls) earns one
+	// trial request.
+	h.MarkAlive("w:1")
+	if !h.Allow("w:1") || h.State("w:1") != HalfOpen {
+		t.Fatalf("probe success did not half-open: %v", h.State("w:1"))
+	}
+	// Failing the trial re-opens immediately, no three-strike grace.
+	h.RecordFailure("w:1")
+	if h.Allow("w:1") || h.State("w:1") != Open {
+		t.Fatalf("failed trial did not re-open: %v", h.State("w:1"))
+	}
+	// Passing the trial closes and resets the streak.
+	h.MarkAlive("w:1")
+	h.RecordSuccess("w:1")
+	if h.State("w:1") != Closed {
+		t.Fatalf("successful trial did not close: %v", h.State("w:1"))
+	}
+	h.RecordFailure("w:1")
+	h.RecordFailure("w:1")
+	if !h.Allow("w:1") {
+		t.Fatal("streak was not reset by the success")
+	}
+}
+
+func TestBreakerDisabledByNegativeThreshold(t *testing.T) {
+	h := NewHealth([]string{"w:1"}, 0, 0, -1)
+	for i := 0; i < 50; i++ {
+		h.RecordFailure("w:1")
+	}
+	if !h.Allow("w:1") {
+		t.Fatal("disabled breaker opened anyway")
+	}
+}
+
+func TestDispatcherOpensBreakerOnRepeatedRetryableStatuses(t *testing.T) {
+	var hits1, hits2 atomic.Int64
+	ts1 := healthzServer(t, &hits1, http.StatusServiceUnavailable, `{"error":"draining"}`)
+	ts2 := healthzServer(t, &hits2, 200, `{"from":"2"}`)
+	w1 := addrOf(ts1)
+	d := NewDispatcher([]string{w1, addrOf(ts2)}, fastOpts())
+	defer d.Close()
+
+	key := "k0"
+	for i := 0; d.Ring().Successors(key)[0] != w1; i++ {
+		key = "k" + strings.Repeat("x", i)
+	}
+	for i := 0; i < DefaultFailureThreshold+2; i++ {
+		if _, ok := d.Forward(context.Background(), key, "/v1/measure", []byte("{}")); !ok {
+			t.Fatalf("forward %d failed outright", i)
+		}
+	}
+	if d.Health().State(w1) != Open {
+		t.Fatalf("breaker state %v after %d straight 503s, want open", d.Health().State(w1), DefaultFailureThreshold+2)
+	}
+	// 503s never mark a worker dead — only the breaker benches it.
+	if !d.Health().Alive(w1) {
+		t.Fatal("503s marked a live worker dead")
+	}
+	// Once open, the worker is skipped without dialing.
+	before := hits1.Load()
+	if _, ok := d.Forward(context.Background(), key, "/v1/measure", []byte("{}")); !ok {
+		t.Fatal("forward with open breaker failed outright")
+	}
+	if hits1.Load() != before {
+		t.Fatal("open breaker still dialed the worker")
+	}
+}
+
+func TestForwardRejectsInvalidBodyAndFailsOver(t *testing.T) {
+	var hits1, hits2 atomic.Int64
+	// Worker 1 answers 200 with a body cut mid-JSON — exactly what a
+	// chaos truncation (headers fixed up) looks like from here.
+	ts1 := healthzServer(t, &hits1, 200, `{"kind":"beta","beta":2.`)
+	ts2 := healthzServer(t, &hits2, 200, `{"kind":"beta","beta":2.5}`)
+	w1, w2 := addrOf(ts1), addrOf(ts2)
+	d := NewDispatcher([]string{w1, w2}, fastOpts())
+	defer d.Close()
+
+	key := "k0"
+	for i := 0; d.Ring().Successors(key)[0] != w1; i++ {
+		key = "k" + strings.Repeat("x", i)
+	}
+	res, ok := d.Forward(context.Background(), key, "/v1/measure", []byte("{}"))
+	if !ok || res.Status != 200 || res.Worker != w2 {
+		t.Fatalf("truncated body was not failed over: ok=%v res=%+v", ok, res)
+	}
+	if res.Failovers != 1 {
+		t.Fatalf("failovers = %d, want 1", res.Failovers)
+	}
+	// Invalid bodies are transport failures: dead until a probe revives.
+	if d.Health().Alive(w1) {
+		t.Fatal("invalid 200 body did not mark the worker dead")
+	}
+}
+
+func TestForwardCustomValidator(t *testing.T) {
+	var hits1, hits2 atomic.Int64
+	ts1 := healthzServer(t, &hits1, 200, `{"valid":"json","but":"wrong shape"}`)
+	ts2 := healthzServer(t, &hits2, 200, `{"kind":"beta"}`)
+	w1, w2 := addrOf(ts1), addrOf(ts2)
+	opts := fastOpts()
+	opts.Validate = func(status int, body []byte) error {
+		if status == 200 && !strings.Contains(string(body), `"kind"`) {
+			return context.DeadlineExceeded // any non-nil error
+		}
+		return nil
+	}
+	d := NewDispatcher([]string{w1, w2}, opts)
+	defer d.Close()
+
+	key := "k0"
+	for i := 0; d.Ring().Successors(key)[0] != w1; i++ {
+		key = "k" + strings.Repeat("x", i)
+	}
+	res, ok := d.Forward(context.Background(), key, "/v1/measure", []byte("{}"))
+	if !ok || res.Worker != w2 {
+		t.Fatalf("custom validator did not reject and fail over: ok=%v res=%+v", ok, res)
+	}
+}
+
+func TestForwardPropagatesDeadlineAsTimeoutHeader(t *testing.T) {
+	var gotHeader atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) { w.Write([]byte("ok\n")) })
+	mux.HandleFunc("POST /", func(w http.ResponseWriter, r *http.Request) {
+		ms, err := strconv.ParseInt(r.Header.Get("X-Timeout-Ms"), 10, 64)
+		if err != nil {
+			ms = -1
+		}
+		gotHeader.Store(ms)
+		w.Write([]byte("{}"))
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	d := NewDispatcher([]string{addrOf(ts)}, fastOpts())
+	defer d.Close()
+
+	// No deadline on the context: no header.
+	if _, ok := d.Forward(context.Background(), "k", "/v1/measure", []byte("{}")); !ok {
+		t.Fatal("forward failed")
+	}
+	if gotHeader.Load() != -1 {
+		t.Fatalf("deadline-free forward sent X-Timeout-Ms %d", gotHeader.Load())
+	}
+	// A 2s client budget must arrive as a <=2000ms worker budget.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, ok := d.Forward(ctx, "k", "/v1/measure", []byte("{}")); !ok {
+		t.Fatal("forward failed")
+	}
+	if ms := gotHeader.Load(); ms < 1 || ms > 2000 {
+		t.Fatalf("worker saw X-Timeout-Ms %d, want in (0, 2000]", ms)
+	}
+}
+
+func TestPostDetectsOverLimitResponse(t *testing.T) {
+	var hits1, hits2 atomic.Int64
+	big := strings.Repeat("x", maxForwardBody+1)
+	ts1 := healthzServer(t, &hits1, 200, `{"pad":"`+big+`"}`)
+	ts2 := healthzServer(t, &hits2, 200, `{"kind":"beta"}`)
+	w1, w2 := addrOf(ts1), addrOf(ts2)
+	d := NewDispatcher([]string{w1, w2}, fastOpts())
+	defer d.Close()
+
+	key := "k0"
+	for i := 0; d.Ring().Successors(key)[0] != w1; i++ {
+		key = "k" + strings.Repeat("x", i)
+	}
+	res, ok := d.Forward(context.Background(), key, "/v1/measure", []byte("{}"))
+	if !ok || res.Worker != w2 {
+		t.Fatalf("over-limit body was not treated as a failure: ok=%v res=%+v", ok, res)
+	}
+	if d.Health().Alive(w1) {
+		t.Fatal("over-limit body did not mark the worker dead")
 	}
 }

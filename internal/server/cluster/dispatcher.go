@@ -3,8 +3,11 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 )
 
@@ -30,6 +33,23 @@ type Options struct {
 	// MaxAttempts bounds how many workers one request may try
 	// (default 0 = every worker once).
 	MaxAttempts int
+	// FailureThreshold is how many consecutive failures (transport
+	// errors, invalid bodies, or retryable statuses) open a worker's
+	// circuit breaker: an open worker is skipped without dialing or
+	// backoff until a successful health probe half-opens it for one
+	// trial. 0 selects DefaultFailureThreshold; negative disables the
+	// breaker.
+	FailureThreshold int
+	// Transport, when non-nil, replaces the forward client's transport
+	// — the chaos-injection seam (internal/chaos.Transport) and a proxy
+	// hook for tests. Health probes do not pass through it.
+	Transport http.RoundTripper
+	// Validate, when non-nil, vets every answered forward before it is
+	// accepted: a non-nil error is treated exactly like a transport
+	// failure (worker marked dead, request moves to the ring
+	// successor), which is what keeps a truncated or corrupted body out
+	// of the coordinator's caches. Nil selects ValidJSONBody.
+	Validate func(status int, body []byte) error
 }
 
 func (o Options) withDefaults() Options {
@@ -51,7 +71,36 @@ func (o Options) withDefaults() Options {
 	if o.BackoffMax <= 0 {
 		o.BackoffMax = time.Second
 	}
+	if o.FailureThreshold == 0 {
+		o.FailureThreshold = DefaultFailureThreshold
+	}
+	if o.Validate == nil {
+		o.Validate = ValidJSONBody
+	}
 	return o
+}
+
+// DefaultFailureThreshold is how many consecutive failures open a
+// worker's circuit breaker unless Options overrides it. Three keeps one
+// blip from benching a healthy worker while still cutting a flapping
+// one out before it absorbs a full backoff walk per request.
+const DefaultFailureThreshold = 3
+
+// ValidJSONBody is the default forward validator: a worker's 200 body
+// must be well-formed JSON. Every 200 a netemud worker can legitimately
+// produce is a complete JSON document, so a body truncated at the
+// forward limit — or cut mid-flight with a fixed-up Content-Length —
+// fails here and is treated as a transport failure instead of being
+// cached and served verbatim forever. The server layer adds a stricter
+// runspec.Result check on top (see server.ValidateWorkerBody).
+func ValidJSONBody(status int, body []byte) error {
+	if status != http.StatusOK {
+		return nil // error bodies are replayed, never cached
+	}
+	if !json.Valid(body) {
+		return fmt.Errorf("cluster: worker 200 body is not well-formed JSON (%d bytes)", len(body))
+	}
+	return nil
 }
 
 // ForwardResult is one answered forward: the worker's verbatim response
@@ -82,8 +131,8 @@ func NewDispatcher(workers []string, opts Options) *Dispatcher {
 	ring := NewRing(workers, opts.VirtualNodes)
 	return &Dispatcher{
 		ring:   ring,
-		health: NewHealth(ring.Workers(), opts.ProbeInterval, opts.ProbeTimeout),
-		client: &http.Client{Timeout: opts.ForwardTimeout},
+		health: NewHealth(ring.Workers(), opts.ProbeInterval, opts.ProbeTimeout, opts.FailureThreshold),
+		client: &http.Client{Timeout: opts.ForwardTimeout, Transport: opts.Transport},
 		opts:   opts,
 	}
 }
@@ -120,13 +169,17 @@ func retryable(status int) bool {
 }
 
 // Forward routes one spec request by its canonical key. It tries the
-// key's ring owner, then each successor: transport failures mark the
-// worker dead (until a probe revives it) and move on; retryable
-// statuses move on without the mark. Between attempts it sleeps the
-// exponential backoff, giving a briefly unreachable worker its slice
-// back instead of stampeding the successor. ok is false when no worker
-// answered — pool empty, every candidate dead or failed — and the
-// caller should degrade to local execution.
+// key's ring owner, then each successor: transport failures and invalid
+// bodies mark the worker dead (until a probe revives it) and move on;
+// retryable statuses move on without the mark. Both count toward the
+// worker's circuit breaker, and an open breaker skips the worker
+// outright. Between attempts it sleeps the exponential backoff, giving
+// a briefly unreachable worker its slice back instead of stampeding the
+// successor. When ctx carries a deadline (the client's remaining
+// budget), it is propagated to the worker as X-Timeout-Ms so a worker
+// never computes past the point its coordinator's client has given up.
+// ok is false when no worker answered — pool empty, every candidate
+// dead or failed — and the caller should degrade to local execution.
 func (d *Dispatcher) Forward(ctx context.Context, key, endpoint string, spec []byte) (res ForwardResult, ok bool) {
 	candidates := d.ring.Successors(key)
 	attempts := 0
@@ -134,7 +187,7 @@ func (d *Dispatcher) Forward(ctx context.Context, key, endpoint string, spec []b
 		if d.opts.MaxAttempts > 0 && attempts >= d.opts.MaxAttempts {
 			break
 		}
-		if !d.health.Alive(w) {
+		if !d.health.Allow(w) {
 			res.Failovers++
 			continue
 		}
@@ -145,18 +198,24 @@ func (d *Dispatcher) Forward(ctx context.Context, key, endpoint string, spec []b
 		}
 		attempts++
 		status, body, err := d.post(ctx, w, endpoint, spec)
+		if err == nil {
+			err = d.opts.Validate(status, body)
+		}
 		if err != nil {
 			if ctx.Err() != nil {
 				break // the caller gave up, not the worker's fault
 			}
 			d.health.MarkDead(w)
+			d.health.RecordFailure(w)
 			res.Failovers++
 			continue
 		}
 		if retryable(status) {
+			d.health.RecordFailure(w)
 			res.Failovers++
 			continue
 		}
+		d.health.RecordSuccess(w)
 		res.Status = status
 		res.Body = body
 		res.Worker = w
@@ -189,14 +248,31 @@ func (d *Dispatcher) post(ctx context.Context, worker, endpoint string, spec []b
 		return 0, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Pass the client's remaining budget down so the worker's own
+	// request deadline matches ours instead of its 60s default — a
+	// worker should never burn queue slots computing an answer its
+	// coordinator's client stopped waiting for.
+	if deadline, ok := ctx.Deadline(); ok {
+		ms := time.Until(deadline).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		req.Header.Set("X-Timeout-Ms", strconv.FormatInt(ms, 10))
+	}
 	resp, err := d.client.Do(req)
 	if err != nil {
 		return 0, nil, err
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, maxForwardBody))
+	// Read one byte past the limit so an at-limit response is
+	// distinguishable from an over-limit one: silently capping the read
+	// would hand a truncated body to the caches as if it were complete.
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxForwardBody+1))
 	if err != nil {
 		return 0, nil, err
+	}
+	if len(body) > maxForwardBody {
+		return 0, nil, fmt.Errorf("cluster: worker %s response exceeds %d-byte forward limit (truncated)", worker, maxForwardBody)
 	}
 	return resp.StatusCode, body, nil
 }

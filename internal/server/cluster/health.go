@@ -6,23 +6,57 @@ import (
 	"time"
 )
 
-// Health tracks which workers currently answer /healthz. Two signals
-// feed it: a background probe loop (authoritative, runs every
-// ProbeInterval) and MarkDead feedback from the dispatcher when a
-// forward fails at the transport layer — the latter takes a worker out
-// of rotation immediately instead of waiting out a probe period, and
-// the next successful probe puts it back.
+// BreakerState is one worker's circuit-breaker position. Closed is the
+// normal flow; Open means the worker accumulated failureThreshold
+// consecutive failures and is skipped without dialing; HalfOpen means a
+// successful health probe has earned the worker exactly one trial
+// request — a success closes the breaker, a failure re-opens it.
+type BreakerState int
+
+const (
+	Closed BreakerState = iota
+	Open
+	HalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Health tracks which workers currently answer /healthz, and runs each
+// worker's circuit breaker. Two signals feed liveness: a background
+// probe loop (authoritative, runs every ProbeInterval) and MarkDead
+// feedback from the dispatcher when a forward fails at the transport
+// layer — the latter takes a worker out of rotation immediately instead
+// of waiting out a probe period, and the next successful probe puts it
+// back. The breaker rides on top: RecordFailure/RecordSuccess count
+// consecutive forward failures, and once failureThreshold is hit the
+// worker is skipped (Allow returns false) even if probes say it is
+// alive — a worker that answers /healthz but flubs real work stays
+// benched until a probe half-opens it and a trial request succeeds.
 //
-// Workers start alive: a coordinator that boots before its pool should
-// try to forward (and learn from the failures) rather than silently run
-// everything locally until the first probe lands.
+// Workers start alive with a closed breaker: a coordinator that boots
+// before its pool should try to forward (and learn from the failures)
+// rather than silently run everything locally until the first probe
+// lands.
 type Health struct {
-	workers  []string
-	interval time.Duration
-	client   *http.Client
+	workers   []string
+	interval  time.Duration
+	threshold int // consecutive failures to open; <= 0 disables the breaker
+	client    *http.Client
 
 	mu      sync.Mutex
 	alive   map[string]bool
+	fails   map[string]int // consecutive forward failures
+	breaker map[string]BreakerState
 	started bool // under mu; whether Start launched anything to wait for
 
 	stopOnce sync.Once
@@ -34,17 +68,23 @@ type Health struct {
 // disables the background loop (MarkDead/MarkAlive feedback still
 // works — the unit tests and the dispatcher's transport feedback drive
 // state by hand). probeTimeout bounds each /healthz round trip.
-func NewHealth(workers []string, interval, probeTimeout time.Duration) *Health {
+// failureThreshold is how many consecutive RecordFailure calls open a
+// worker's breaker; <= 0 disables the breaker entirely (Allow then
+// mirrors Alive).
+func NewHealth(workers []string, interval, probeTimeout time.Duration, failureThreshold int) *Health {
 	if probeTimeout <= 0 {
 		probeTimeout = time.Second
 	}
 	h := &Health{
-		workers:  workers,
-		interval: interval,
-		client:   &http.Client{Timeout: probeTimeout},
-		alive:    make(map[string]bool, len(workers)),
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
+		workers:   workers,
+		interval:  interval,
+		threshold: failureThreshold,
+		client:    &http.Client{Timeout: probeTimeout},
+		alive:     make(map[string]bool, len(workers)),
+		fails:     make(map[string]int, len(workers)),
+		breaker:   make(map[string]BreakerState, len(workers)),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
 	}
 	for _, w := range workers {
 		h.alive[w] = true
@@ -94,6 +134,14 @@ func (h *Health) probeAll() {
 		alive := h.probe(w)
 		h.mu.Lock()
 		h.alive[w] = alive
+		// A live probe is how an open breaker earns its trial request:
+		// open -> half-open, and the next Forward attempt decides. A
+		// dead probe slams a half-open breaker shut again.
+		if alive && h.breaker[w] == Open {
+			h.breaker[w] = HalfOpen
+		} else if !alive && h.breaker[w] == HalfOpen {
+			h.breaker[w] = Open
+		}
 		h.mu.Unlock()
 	}
 }
@@ -107,24 +155,67 @@ func (h *Health) probe(worker string) bool {
 	return resp.StatusCode == http.StatusOK
 }
 
-// Alive reports whether worker is currently in rotation.
+// Alive reports whether worker currently answers probes (or has not yet
+// been marked dead). It ignores the breaker; use Allow to decide
+// whether to send real work.
 func (h *Health) Alive(worker string) bool {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.alive[worker]
 }
 
-// AliveCount returns how many workers are currently in rotation.
+// Allow reports whether worker should receive a forward: it must be
+// alive and its breaker must not be open. A half-open breaker allows
+// the request — that request is the trial.
+func (h *Health) Allow(worker string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.alive[worker] && h.breaker[worker] != Open
+}
+
+// AliveCount returns how many workers are currently in rotation
+// (alive and breaker not open).
 func (h *Health) AliveCount() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	n := 0
-	for _, ok := range h.alive {
-		if ok {
+	for w, ok := range h.alive {
+		if ok && h.breaker[w] != Open {
 			n++
 		}
 	}
 	return n
+}
+
+// State returns worker's current breaker position (tests, /metrics).
+func (h *Health) State(worker string) BreakerState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.breaker[worker]
+}
+
+// RecordFailure counts one failed forward (transport error, invalid
+// body, or retryable status) against worker's breaker. Hitting the
+// threshold — or failing the half-open trial — opens it.
+func (h *Health) RecordFailure(worker string) {
+	if h.threshold <= 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.fails[worker]++
+	if h.breaker[worker] == HalfOpen || h.fails[worker] >= h.threshold {
+		h.breaker[worker] = Open
+	}
+}
+
+// RecordSuccess resets worker's failure streak and closes its breaker;
+// the dispatcher calls it on every accepted forward.
+func (h *Health) RecordSuccess(worker string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.fails[worker] = 0
+	h.breaker[worker] = Closed
 }
 
 // MarkDead takes a worker out of rotation until the next successful
@@ -135,9 +226,13 @@ func (h *Health) MarkDead(worker string) {
 	h.mu.Unlock()
 }
 
-// MarkAlive puts a worker back in rotation (probe loop and tests).
+// MarkAlive puts a worker back in rotation (probe loop and tests). Like
+// a successful probe, it upgrades an open breaker to half-open.
 func (h *Health) MarkAlive(worker string) {
 	h.mu.Lock()
 	h.alive[worker] = true
+	if h.breaker[worker] == Open {
+		h.breaker[worker] = HalfOpen
+	}
 	h.mu.Unlock()
 }

@@ -27,6 +27,7 @@ func fastClusterOpts() cluster.Options {
 		ProbeInterval: time.Hour,
 		BackoffBase:   time.Millisecond,
 		BackoffMax:    4 * time.Millisecond,
+		Validate:      ValidateWorkerBody,
 	}
 }
 

@@ -95,9 +95,35 @@ func requestTimeout(r *http.Request, def time.Duration) time.Duration {
 	return time.Duration(ms) * time.Millisecond
 }
 
+// handleHealthz answers "ok" while serving and 503 "draining" once
+// BeginDrain has run. The 503 is what tells a coordinator's probe loop
+// to route around a worker that is shutting down — paired with the
+// dispatcher treating 503 as retryable, a drain sheds zero requests:
+// in-flight work finishes here, new work spills to ring successors.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.isDraining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
 	fmt.Fprintln(w, "ok")
+}
+
+// handleDrainz moves the server into draining mode over HTTP — the
+// graceful-drain hook for orchestrators that can't signal the process.
+// Idempotent: the second POST reports "already draining". It does not
+// wait for in-flight work; poll /metrics (in_flight) or let the process
+// supervisor call Wait.
+func (s *Server) handleDrainz(w http.ResponseWriter, _ *http.Request) {
+	already := s.isDraining()
+	s.BeginDrain()
+	w.Header().Set("Content-Type", "application/json")
+	if already {
+		w.Write([]byte(`{"draining":true,"note":"already draining"}` + "\n"))
+		return
+	}
+	w.Write([]byte(`{"draining":true}` + "\n"))
 }
 
 // The kind gates redirect known-but-misrouted kinds to the right
@@ -159,7 +185,8 @@ func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request, defaultKind 
 		return
 	}
 
-	ctx, cancel := context.WithTimeout(r.Context(), requestTimeout(r, s.cfg.DefaultTimeout))
+	deadline := time.Now().Add(requestTimeout(r, s.cfg.DefaultTimeout))
+	ctx, cancel := context.WithDeadline(r.Context(), deadline)
 	defer cancel()
 
 	cl, leader := s.coalescer.join(key)
@@ -167,7 +194,7 @@ func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request, defaultKind 
 		s.jobs.Add(1)
 		go func() {
 			defer s.jobs.Done()
-			body, status, errMsg := s.compute(spec, key)
+			body, status, errMsg := s.compute(spec, key, deadline)
 			s.coalescer.finish(key, cl, body, status, errMsg)
 		}()
 	} else {
@@ -196,11 +223,14 @@ func responseDiskKey(canonical string) string {
 
 // compute runs (or loads) the computation for one canonical spec. It
 // executes on the leader's detached goroutine: no request deadline
-// applies here, so a slow simulation still lands in the caches even if
-// every requester has given up. The panic guard mirrors the HTTP-layer
-// one — simulations run off the handler goroutine, so the middleware
-// cannot see their panics.
-func (s *Server) compute(spec runspec.Spec, key string) (body []byte, status int, errMsg string) {
+// applies to local execution, so a slow simulation still lands in the
+// caches even if every requester has given up. Forwards are the
+// exception — deadline (the leader's client budget) bounds the cluster
+// round trip and rides to the worker as X-Timeout-Ms, because a worker
+// computing for a departed client helps nobody's cache but its own. The
+// panic guard mirrors the HTTP-layer one — simulations run off the
+// handler goroutine, so the middleware cannot see their panics.
+func (s *Server) compute(spec runspec.Spec, key string, deadline time.Time) (body []byte, status int, errMsg string) {
 	defer func() {
 		if v := recover(); v != nil {
 			s.metrics.panics.Add(1)
@@ -230,10 +260,22 @@ func (s *Server) compute(spec runspec.Spec, key string) (body []byte, status int
 	// Coordinator path: hand the computation to the worker owning this
 	// key on the hash ring. Forwarded work bypasses local admission —
 	// the worker's own queue is the backpressure point — and only a
-	// pool-wide failure falls through to local execution below.
+	// pool-wide failure falls through to local execution below. The
+	// forward context is detached from the client connection (the result
+	// is cached for coalesced waiters either way) but bounded by the
+	// leader's deadline; when the deadline itself killed the forward,
+	// answer 504 directly rather than burning a local execution slot on
+	// a request nobody is waiting for.
 	if s.cfg.Dispatch != nil {
-		if body, status, errMsg, ok := s.forward(spec, key); ok {
+		fwdCtx, cancel := context.WithDeadline(s.execCtx, deadline)
+		body, status, errMsg, ok := s.forward(fwdCtx, spec, key)
+		expired := fwdCtx.Err() != nil
+		cancel()
+		if ok {
 			return body, status, errMsg
+		}
+		if expired {
+			return nil, http.StatusGatewayTimeout, "deadline expired before the result was ready"
 		}
 		s.metrics.fallbackLocal.Add(1)
 	}
@@ -268,31 +310,60 @@ func (s *Server) compute(spec runspec.Spec, key string) (body []byte, status int
 	return body, http.StatusOK, ""
 }
 
+// ValidateWorkerBody is the strict forward validator a coordinator
+// should run (wire it as cluster.Options.Validate): a worker's 200 body
+// must decode as a runspec.Result with its kind set — not merely parse
+// as JSON. json.Valid alone accepts `{}`, `null`, or a stray error
+// shape; this catches anything that is not an actual result before the
+// dispatcher accepts it, and forward below re-checks it as the last
+// line of defense in front of the memo and disk caches.
+func ValidateWorkerBody(status int, body []byte) error {
+	if status != http.StatusOK {
+		return nil // error bodies are replayed to the client, never cached
+	}
+	var res runspec.Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		return fmt.Errorf("worker 200 body is not a result: %v", err)
+	}
+	if res.Kind == "" {
+		return fmt.Errorf("worker 200 body has no result kind (%d bytes)", len(body))
+	}
+	return nil
+}
+
 // forward dispatches one computation to the cluster, returning ok=false
 // when no worker answered (the caller then runs it locally). A worker's
-// 200 is cached and served verbatim — the bytes are what this server
-// would have produced itself, by the determinism contract. A worker's
-// non-retryable error is replayed through writeError with the worker's
-// own message, so the client sees the same body a single-node server
-// would have sent.
-func (s *Server) forward(spec runspec.Spec, key string) (body []byte, status int, errMsg string, ok bool) {
+// 200 is validated and then cached and served verbatim — the bytes are
+// what this server would have produced itself, by the determinism
+// contract. An invalid 200 body (truncated mid-flight, corrupted, wrong
+// shape) marks the worker dead and degrades to ok=false instead of
+// poisoning the caches. A worker's non-retryable error is replayed
+// through writeError with the worker's own message, so the client sees
+// the same body a single-node server would have sent.
+func (s *Server) forward(ctx context.Context, spec runspec.Spec, key string) (body []byte, status int, errMsg string, ok bool) {
 	wire, err := json.Marshal(spec)
 	if err != nil {
 		return nil, 0, "", false
 	}
-	res, fok := s.cfg.Dispatch.Forward(s.execCtx, key, spec.Kind.Endpoint(), wire)
+	res, fok := s.cfg.Dispatch.Forward(ctx, key, spec.Kind.Endpoint(), wire)
 	s.metrics.failovers.Add(int64(res.Failovers))
 	if !fok {
 		return nil, 0, "", false
 	}
-	s.metrics.forwarded.Add(1)
 	if res.Status == http.StatusOK {
+		if verr := ValidateWorkerBody(res.Status, res.Body); verr != nil {
+			s.cfg.Dispatch.Health().MarkDead(res.Worker)
+			s.cfg.Dispatch.Health().RecordFailure(res.Worker)
+			return nil, 0, "", false
+		}
+		s.metrics.forwarded.Add(1)
 		s.memoStore(key, res.Body)
 		if s.cfg.Cache != nil {
 			s.cfg.Cache.Store(responseDiskKey(key), json.RawMessage(res.Body))
 		}
 		return res.Body, http.StatusOK, "", true
 	}
+	s.metrics.forwarded.Add(1)
 	var e errorBody
 	if json.Unmarshal(res.Body, &e) == nil && e.Error != "" {
 		return nil, res.Status, e.Error, true

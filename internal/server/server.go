@@ -119,6 +119,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/emulate", s.instrument("/v1/emulate", s.handleEmulate))
 	mux.HandleFunc("GET /v1/tables/{id}", s.instrument("/v1/tables", s.handleTables))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /drainz", s.handleDrainz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
 	return s
