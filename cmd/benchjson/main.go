@@ -26,9 +26,11 @@
 //	    benchjson -check BENCH_routing.json -threshold 0.25 -o fresh.json
 //
 // -check compares the fresh ns/op of every benchmark whose name starts
-// with -prefix (default BenchmarkSimStep) against the committed record and
-// exits 1 when any regresses by more than -threshold (fractional; 0.25 =
-// 25%). The comparison table goes to stderr; -o writes the fresh JSON to a
+// with -prefix (default BenchmarkSimStep; a comma-separated list covers
+// several families at once, e.g.
+// -prefix BenchmarkSimStep,BenchmarkExecuteColdVsWarm) against the
+// committed record and exits 1 when any regresses by more than -threshold
+// (fractional; 0.25 = 25%). The comparison table goes to stderr; -o writes the fresh JSON to a
 // file (so CI can upload both sides as artifacts) instead of stdout.
 // Benchmarks present on only one side are reported but never fail the
 // check — renames should not break CI runs of unrelated changes.
@@ -79,7 +81,7 @@ func main() {
 	log.SetPrefix("benchjson: ")
 	check := flag.String("check", "", "committed benchmark JSON to compare against; exit 1 on regression")
 	threshold := flag.Float64("threshold", 0.25, "fractional ns/op regression tolerance for -check (0.25 = 25%)")
-	prefix := flag.String("prefix", "BenchmarkSimStep", "benchmark name prefix the -check comparison covers")
+	prefix := flag.String("prefix", "BenchmarkSimStep", "benchmark name prefix(es) the -check comparison covers (comma-separated)")
 	outPath := flag.String("o", "", "write the fresh JSON to this file instead of stdout")
 	netemudCheck := flag.String("netemud-check", "", "committed BENCH_netemud.json whose p99 latency to guard (skips stdin; needs -netemud-fresh)")
 	netemudFresh := flag.String("netemud-fresh", "", "fresh netemuload report to compare against -netemud-check")
@@ -168,16 +170,25 @@ func checkRegressions(fresh benchFile, committedPath, prefix string, threshold f
 	if err := json.Unmarshal(raw, &committed); err != nil {
 		log.Fatalf("%s: %v", committedPath, err)
 	}
+	prefixes := strings.Split(prefix, ",")
+	matches := func(name string) bool {
+		for _, p := range prefixes {
+			if p != "" && strings.HasPrefix(name, p) {
+				return true
+			}
+		}
+		return false
+	}
 	base := map[string]*benchResult{}
 	for _, r := range committed.Benchmarks {
-		if strings.HasPrefix(r.Name, prefix) {
+		if matches(r.Name) {
 			base[r.Name] = r
 		}
 	}
 	ok := true
 	compared := 0
 	for _, r := range fresh.Benchmarks {
-		if !strings.HasPrefix(r.Name, prefix) {
+		if !matches(r.Name) {
 			continue
 		}
 		b, found := base[r.Name]

@@ -31,6 +31,12 @@
 // /v1/measure returns for the same spec, which is what the CI parity
 // check diffs.
 //
+// With -sweep, the whole -sizes sweep executes as one batch over a shared
+// artifact cache (machines and engines build once per size, simulator
+// arenas recycle across points) and each size's RunResult streams as
+// indented JSON — the concatenation is byte-identical to netemud's POST
+// /v1/sweep response for the equivalent SweepSpec.
+//
 // With -stats, the largest size additionally runs an instrumented open-loop
 // at -rate times its measured β and the statistical snapshot (latency
 // quantiles, queue occupancy, top edge utilization, per-tick series) is
@@ -81,6 +87,7 @@ func main() {
 	faults := flag.String("faults", "", `fault spec (e.g. "edges:0.05@t100,nodes:8@t500,heal@t900") executed mid-run on the largest size's open-loop`)
 	adjacency := flag.String("adjacency", "", `machine representation: "explicit" (default) or "implicit" (generator-backed adjacency; WeakHypercube, Mesh, Torus only — results are bit-identical, but million-vertex sizes fit in memory)`)
 	jsonOut := flag.Bool("json", false, "execute the single-size β spec through the unified RunSpec API and print the RunResult JSON (netemud parity format)")
+	sweepOut := flag.Bool("sweep", false, "execute the whole -sizes sweep as one batch over a shared artifact cache and stream each size's RunResult JSON (netemud /v1/sweep parity format)")
 	prof := profiling.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -127,6 +134,24 @@ func main() {
 		log.Fatal(err)
 	}
 	defer stop()
+
+	if *sweepOut {
+		// One batch over one artifact cache: machines and engines build
+		// once per size, pooled sims carry across points, and each
+		// printed document is byte-identical to the equivalent -json run.
+		results, err := runspec.ExecuteSweep(runspec.NewArtifactCache(0, 0), mf.SweepSpec(nshards))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, res := range results {
+			buf, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				log.Fatal(err)
+			}
+			os.Stdout.Write(append(buf, '\n'))
+		}
+		return
+	}
 
 	if *jsonOut {
 		if len(mf.SizeList) != 1 {

@@ -5,6 +5,10 @@
 // Endpoints:
 //
 //	POST /v1/measure        β / steady-β / open-loop / fault-curve / λ
+//	POST /v1/sweep          batch measurement: one base spec + knob points,
+//	                        streamed point-by-point over a shared artifact
+//	                        cache; byte-identical to the equivalent sequence
+//	                        of /v1/measure responses
 //	POST /v1/emulate        direct / circuit / pipelined / mapped / degraded
 //	GET  /v1/tables/{1..4}  the paper's reproduced tables (plain text)
 //	GET  /healthz           liveness (503 "draining" once a drain begins)

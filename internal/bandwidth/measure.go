@@ -76,6 +76,18 @@ type Measurement struct {
 // values. The result is therefore invariant under reordering of
 // opts.LoadFactors, and trials of one load factor do not perturb another's.
 func MeasureBeta(m *topology.Machine, dist traffic.Distribution, opts MeasureOptions, rng *rand.Rand) Measurement {
+	opts = opts.withDefaults()
+	return MeasureBetaOn(routing.NewEngine(m, opts.Strategy), dist, opts, rng)
+}
+
+// MeasureBetaOn is MeasureBeta on a prebuilt (typically cached) engine: the
+// engine's machine and distance fields are reused across calls and the
+// engine is never mutated — the shard count comes from opts, not e.Shards —
+// so one engine can serve concurrent measurements. The rng draw order is
+// exactly MeasureBeta's, which makes warm (cached-engine) results
+// byte-identical to cold ones.
+func MeasureBetaOn(eng *routing.Engine, dist traffic.Distribution, opts MeasureOptions, rng *rand.Rand) Measurement {
+	m := eng.M
 	if dist.N() != m.N() {
 		panic(fmt.Sprintf("bandwidth: distribution over %d endpoints on machine of %d", dist.N(), m.N()))
 	}
@@ -86,8 +98,6 @@ func MeasureBeta(m *topology.Machine, dist traffic.Distribution, opts MeasureOpt
 	dist = deliverableDist(m, dist)
 	opts = opts.withDefaults()
 	plan := measure.NewSeedPlan(rng.Int63())
-	eng := routing.NewEngine(m, opts.Strategy)
-	eng.Shards = opts.Shards
 	out := Measurement{Machine: m, Dist: dist.Name(), RateByLoad: make(map[int]float64)}
 	type point struct{ x, y float64 } // batch size, ticks — one per trial
 	var pts []point
@@ -98,7 +108,7 @@ func MeasureBeta(m *topology.Machine, dist traffic.Distribution, opts MeasureOpt
 		for t := 0; t < opts.Trials; t++ {
 			trng := plan.RNG(uint64(lf), uint64(t))
 			batch := traffic.Batch(dist, batchSize, trng)
-			st := eng.Route(batch, trng)
+			st := eng.RouteSharded(batch, trng, opts.Shards)
 			msgs += float64(st.Messages)
 			ticks += float64(st.Ticks)
 			pts = append(pts, point{x: float64(st.Messages), y: float64(st.Ticks)})

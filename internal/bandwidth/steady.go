@@ -24,13 +24,20 @@ func SteadyStateBeta(m *topology.Machine, ticks, iters int, rng *rand.Rand) floa
 // vertex set is split across the given number of goroutines per tick. The
 // returned value is bit-identical at every shard count.
 func SteadyStateBetaSharded(m *topology.Machine, ticks, iters, shards int, rng *rand.Rand) float64 {
+	return SteadyStateBetaOn(routing.NewEngine(m, routing.Greedy), ticks, iters, shards, rng)
+}
+
+// SteadyStateBetaOn is SteadyStateBetaSharded on a prebuilt (typically
+// cached) engine, which it never mutates. The rng draw order — the
+// UpperBounds flux draw before the bisection — is exactly the historical
+// one, so cached-engine results are byte-identical to cold ones.
+func SteadyStateBetaOn(eng *routing.Engine, ticks, iters, shards int, rng *rand.Rand) float64 {
+	m := eng.M
 	dist := traffic.NewSymmetric(m.N())
-	eng := routing.NewEngine(m, routing.Greedy)
-	eng.Shards = shards
 	// The flux bound caps the search window.
 	upper := UpperBounds(m, 2, rng).Flux * 1.5
 	if upper < 2 {
 		upper = 2
 	}
-	return eng.SaturationRate(dist, upper, ticks, iters, rng)
+	return eng.SaturationRateSharded(dist, upper, ticks, iters, rng, shards)
 }

@@ -4,8 +4,10 @@ import (
 	"math/rand"
 
 	"repro/internal/bandwidth"
+	"repro/internal/routing"
 	"repro/internal/runspec"
 	"repro/internal/topology"
+	"repro/internal/traffic"
 )
 
 // The memoized measurements. Keys are canonical runspec.Spec strings —
@@ -69,14 +71,19 @@ func (r *Runner) BetaFuture(f topology.Family, dim, size int, opts bandwidth.Mea
 		return v.(*Future[bandwidth.Measurement])
 	}
 	fut := newFuture(r, key, func(rng *rand.Rand) bandwidth.Measurement {
-		m := topology.Build(f, dim, size, rng)
+		m, eng := r.artifactsFor(f, dim, size, opts.Strategy, rng)
 		if r.disk != nil {
 			var e betaEntry
 			if r.disk.Load(r.diskKey(key), &e) {
 				return bandwidth.Measurement{Machine: m, Dist: e.Dist, Beta: e.Beta, RateByLoad: e.RateByLoad}
 			}
 		}
-		meas := bandwidth.MeasureSymmetricBeta(m, opts, rng)
+		var meas bandwidth.Measurement
+		if eng != nil {
+			meas = bandwidth.MeasureBetaOn(eng, traffic.NewSymmetric(m.N()), opts, rng)
+		} else {
+			meas = bandwidth.MeasureSymmetricBeta(m, opts, rng)
+		}
 		if r.disk != nil {
 			r.disk.Store(r.diskKey(key), betaEntry{Dist: meas.Dist, Beta: meas.Beta, RateByLoad: meas.RateByLoad})
 		}
@@ -109,7 +116,7 @@ func (r *Runner) LambdaFuture(f topology.Family, dim, size int) *Future[Lambda] 
 				return l
 			}
 		}
-		m := topology.Build(f, dim, size, rng)
+		m, _ := r.artifactsFor(f, dim, size, routing.Greedy, rng)
 		diam, avg := bandwidth.MeasureLambda(m, rng)
 		out := Lambda{Diameter: diam, AvgDist: avg}
 		if r.disk != nil {
@@ -127,4 +134,29 @@ func (r *Runner) LambdaFuture(f topology.Family, dim, size int) *Future[Lambda] 
 // Lambda is LambdaFuture + Wait.
 func (r *Runner) Lambda(f topology.Family, dim, size int) Lambda {
 	return r.LambdaFuture(f, dim, size).Wait()
+}
+
+// artifactsFor resolves the job's machine (and, when shareable, engine)
+// through the runner's artifact cache. Deterministic families consume no
+// rng draws in topology.Build, so substituting the cached machine and
+// engine preserves the job's keyed draw sequence exactly — results stay
+// byte-identical to a cold build, just without rebuilding the machine
+// and BFS distance fields for every section that measures the same
+// host. Randomized families (Expander, Multibutterfly) must keep
+// drawing their construction from the job stream, so they bypass the
+// cache, as does any build the cache rejects.
+func (r *Runner) artifactsFor(f topology.Family, dim, size int, strategy routing.Strategy, rng *rand.Rand) (*topology.Machine, *routing.Engine) {
+	if r.artifacts == nil || topology.RandomizedFamily(f) {
+		return topology.Build(f, dim, size, rng), nil
+	}
+	ms := runspec.MachineSpec{Family: f.String(), Dim: dim, Size: size}
+	m, err := r.artifacts.Machine(ms)
+	if err != nil {
+		return topology.Build(f, dim, size, rng), nil
+	}
+	eng, err := r.artifacts.Engine(ms, strategy)
+	if err != nil {
+		return m, nil
+	}
+	return m, eng
 }

@@ -21,19 +21,21 @@ import (
 	"sync/atomic"
 
 	"repro/internal/measure"
+	"repro/internal/runspec"
 )
 
 // Runner executes keyed jobs on a bounded worker pool. The zero value is
 // not usable; construct with New.
 type Runner struct {
-	plan    measure.SeedPlan
-	seed    int64
-	workers int
-	sem     chan struct{}
-	beta    sync.Map // string -> *Future[bandwidth.Measurement]
-	lambda  sync.Map // string -> *Future[Lambda]
-	disk    *DiskCache
-	jobs    atomic.Int64
+	plan      measure.SeedPlan
+	seed      int64
+	workers   int
+	sem       chan struct{}
+	beta      sync.Map // string -> *Future[bandwidth.Measurement]
+	lambda    sync.Map // string -> *Future[Lambda]
+	disk      *DiskCache
+	artifacts *runspec.ArtifactCache
+	jobs      atomic.Int64
 }
 
 // New returns a runner rooted at the given base seed. workers caps the
@@ -43,10 +45,11 @@ func New(seed int64, workers int) *Runner {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	return &Runner{
-		plan:    measure.NewSeedPlan(seed),
-		seed:    seed,
-		workers: workers,
-		sem:     make(chan struct{}, workers),
+		plan:      measure.NewSeedPlan(seed),
+		seed:      seed,
+		workers:   workers,
+		sem:       make(chan struct{}, workers),
+		artifacts: runspec.NewArtifactCache(0, 0),
 	}
 }
 

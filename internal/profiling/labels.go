@@ -1,0 +1,24 @@
+package profiling
+
+import (
+	"context"
+	"runtime/pprof"
+)
+
+// Labeled runs fn with pprof labels attached to the goroutine, so CPU
+// profiles collected through the -cpuprofile flag attribute samples per
+// workload: `go tool pprof -tagfocus spec_kind=beta cpu.out` isolates one
+// spec kind, `-tagfocus machine_family=Mesh` one machine family. Empty
+// values are recorded as "-" so every sample under a labeled region carries
+// both keys.
+func Labeled(ctx context.Context, kind, family string, fn func()) {
+	if kind == "" {
+		kind = "-"
+	}
+	if family == "" {
+		family = "-"
+	}
+	pprof.Do(ctx, pprof.Labels("spec_kind", kind, "machine_family", family), func(context.Context) {
+		fn()
+	})
+}

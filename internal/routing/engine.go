@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"math/bits"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/topology"
@@ -156,8 +157,71 @@ type Engine struct {
 	// nothing beyond a nil check.
 	live *liveState
 
+	// simFree pools retired sims for reuse via AcquireSim/ReleaseSim, so
+	// repeated measurements on one engine (open-loop bisection, warm
+	// sweeps) recycle the queue arenas and per-vertex tables instead of
+	// reallocating ~N words per run.
+	simMu   sync.Mutex
+	simFree []*Sim
+
 	numVerts int
 	numEdges int // directed edge id space (CSR slots, or numVerts*gDeg)
+}
+
+// simPoolCap bounds the retired sims kept per engine. Matching on shard
+// count means a shard-heterogeneous caller can hold a few variants; beyond
+// the cap, extra sims are closed rather than hoarded.
+const simPoolCap = 4
+
+// AcquireSim returns a sim sharded the given number of ways (clamped like
+// NewShardedSim), recycling a pooled one when a retired sim with the same
+// shard count exists. The recycled sim is Reset on rng, so results are
+// byte-identical to a fresh NewShardedSim — pooling is purely an allocation
+// optimization. Pair with ReleaseSim (or Close).
+func (e *Engine) AcquireSim(rng *rand.Rand, shards int) *Sim {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > e.numVerts {
+		shards = e.numVerts
+	}
+	e.simMu.Lock()
+	for i := len(e.simFree) - 1; i >= 0; i-- {
+		s := e.simFree[i]
+		if len(s.shards) == shards {
+			e.simFree[i] = e.simFree[len(e.simFree)-1]
+			e.simFree = e.simFree[:len(e.simFree)-1]
+			e.simMu.Unlock()
+			s.Reset(rng)
+			return s
+		}
+	}
+	e.simMu.Unlock()
+	return e.NewShardedSim(rng, shards)
+}
+
+// ReleaseSim retires a sim into the engine's pool for a later AcquireSim.
+// Closed sims are ignored; sims that ran a fault schedule, or overflow the
+// pool, are closed instead of pooled.
+func (e *Engine) ReleaseSim(s *Sim) {
+	if s == nil || s.closed {
+		return
+	}
+	if s.eng != e {
+		panic("routing: ReleaseSim on a foreign engine")
+	}
+	if s.faults != nil {
+		s.Close()
+		return
+	}
+	e.simMu.Lock()
+	if len(e.simFree) < simPoolCap {
+		e.simFree = append(e.simFree, s)
+		e.simMu.Unlock()
+		return
+	}
+	e.simMu.Unlock()
+	s.Close()
 }
 
 // NewEngine returns an engine for m using the given strategy.
@@ -336,11 +400,18 @@ type Stats struct {
 // Messages whose source equals destination are rejected with a panic — the
 // traffic package never produces them.
 func (e *Engine) Route(batch []traffic.Message, rng *rand.Rand) Stats {
+	return e.RouteSharded(batch, rng, e.Shards)
+}
+
+// RouteSharded is Route with an explicit shard count, so concurrent callers
+// sharing one cached engine never mutate e.Shards. The run recycles a
+// pooled sim; results are byte-identical at every shard count.
+func (e *Engine) RouteSharded(batch []traffic.Message, rng *rand.Rand, shards int) Stats {
 	if len(batch) == 0 {
 		return Stats{}
 	}
-	s := e.NewSim(rng)
-	defer s.Close()
+	s := e.AcquireSim(rng, shards)
+	defer e.ReleaseSim(s)
 	s.Inject(batch)
 	limit := 200*len(batch) + 100*e.numVerts + 1000
 	for s.InFlight() > 0 {

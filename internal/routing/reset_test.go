@@ -1,0 +1,160 @@
+package routing
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// The amortized-execution contract: a warm run (pooled sim recycled via
+// Reset) must be byte-identical to a cold run (fresh engine, fresh sim) for
+// the same seed — the TestShardedEquivalence contract extended to
+// cold-vs-warm. These tests drive open loops, batch routes, and
+// instrumented snapshots through one engine repeatedly and compare each
+// warm result against a cold reference.
+
+// coldOpenLoop runs one open loop on a throwaway engine.
+func coldOpenLoop(m *topology.Machine, shards int, seed int64) OpenLoopResult {
+	e := NewEngine(m, Greedy)
+	dist := traffic.NewSymmetric(m.N())
+	return e.OpenLoopSharded(dist, 3, 80, rand.New(rand.NewSource(seed)), shards)
+}
+
+func TestResetColdVsWarmOpenLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, m := range table4Machines(rng) {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			for _, shards := range []int{1, 4} {
+				e := NewEngine(m, Greedy)
+				dist := traffic.NewSymmetric(m.N())
+				// Three consecutive runs on one engine: the first is cold,
+				// the rest recycle the pooled sim. Every one must match a
+				// cold run on a fresh engine with the same seed.
+				for seed := int64(1); seed <= 3; seed++ {
+					warm := e.OpenLoopSharded(dist, 3, 80, rand.New(rand.NewSource(seed)), shards)
+					cold := coldOpenLoop(m, shards, seed)
+					if warm != cold {
+						t.Errorf("shards=%d seed=%d: warm run diverged from cold\ncold: %+v\nwarm: %+v",
+							shards, seed, cold, warm)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestResetColdVsWarmRoute(t *testing.T) {
+	m := topology.Mesh(2, 6)
+	dist := traffic.NewSymmetric(m.N())
+	for _, shards := range []int{1, 4} {
+		e := NewEngine(m, Greedy)
+		for seed := int64(1); seed <= 3; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			batch := traffic.Batch(dist, 4*m.N(), rng)
+			warm := e.RouteSharded(batch, rng, shards)
+
+			ec := NewEngine(m, Greedy)
+			crng := rand.New(rand.NewSource(seed))
+			cbatch := traffic.Batch(dist, 4*m.N(), crng)
+			cold := ec.RouteSharded(cbatch, crng, shards)
+			if warm != cold {
+				t.Errorf("shards=%d seed=%d: warm Route diverged from cold\ncold: %+v\nwarm: %+v",
+					shards, seed, cold, warm)
+			}
+		}
+	}
+}
+
+// Instrumented runs also pool their sims; the whole snapshot (per-tick
+// series, edge loads, histograms) must survive the recycling byte-for-byte.
+func TestResetColdVsWarmSnapshot(t *testing.T) {
+	m := topology.DeBruijn(4)
+	dist := traffic.NewSymmetric(m.N())
+	snapJSON := func(snap Snapshot) []byte {
+		var buf bytes.Buffer
+		if err := snap.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	for _, shards := range []int{1, 4} {
+		e := NewEngine(m, Greedy)
+		for seed := int64(1); seed <= 3; seed++ {
+			warmRes, warmSnap := e.OpenLoopSnapshotSharded(dist, 3, 80, rand.New(rand.NewSource(seed)), 8, shards)
+
+			ec := NewEngine(m, Greedy)
+			coldRes, coldSnap := ec.OpenLoopSnapshotSharded(dist, 3, 80, rand.New(rand.NewSource(seed)), 8, shards)
+			if warmRes != coldRes {
+				t.Errorf("shards=%d seed=%d: warm snapshot run result diverged\ncold: %+v\nwarm: %+v",
+					shards, seed, coldRes, warmRes)
+			}
+			if got, want := snapJSON(warmSnap), snapJSON(coldSnap); !bytes.Equal(got, want) {
+				t.Errorf("shards=%d seed=%d: warm snapshot JSON diverged from cold", shards, seed)
+			}
+		}
+	}
+}
+
+// A sim that ran a fault schedule owns the engine's liveness mask and must
+// never be recycled.
+func TestResetRefusesFaultedSim(t *testing.T) {
+	m := topology.Mesh(2, 4)
+	e := NewEngine(m, Greedy)
+	rng := rand.New(rand.NewSource(1))
+	s := e.NewSim(rng)
+	sched := topology.MustParseFaultSpec("edges:0.2@t2").Materialize(m, rng)
+	s.SetFaults(sched, FaultOptions{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reset on a faulted sim did not panic")
+		}
+		s.Close()
+	}()
+	s.Reset(rng)
+}
+
+// ReleaseSim must close (not pool) faulted sims: a later AcquireSim on the
+// same engine must come back fresh, not contaminated.
+func TestReleaseSimClosesFaulted(t *testing.T) {
+	m := topology.Mesh(2, 4)
+	e := NewEngine(m, Greedy)
+	rng := rand.New(rand.NewSource(1))
+	s := e.NewSim(rng)
+	sched := topology.MustParseFaultSpec("edges:0.2@t2").Materialize(m, rng)
+	s.SetFaults(sched, FaultOptions{})
+	e.ReleaseSim(s)
+	if !s.closed {
+		t.Fatal("ReleaseSim pooled a faulted sim instead of closing it")
+	}
+	s2 := e.AcquireSim(rng, 1)
+	if s2 == s {
+		t.Fatal("AcquireSim returned the faulted sim")
+	}
+	s2.Close()
+}
+
+// The open-loop allocation hot spot (satellite): a warm open loop recycles
+// its sim, so the steady-state path allocates (near) nothing — the analogue
+// of the Step budget in TestStepSteadyStateAllocs. The cold run before the
+// measurement warms the pool and grows every scratch buffer to its
+// high-water mark.
+func TestOpenLoopWarmAllocs(t *testing.T) {
+	m := topology.Mesh(2, 10)
+	e := NewEngine(m, Greedy)
+	dist := traffic.NewSymmetric(m.N())
+	rng := rand.New(rand.NewSource(1))
+	e.OpenLoop(dist, 4, 200, rng) // cold: builds the sim, fills the pool
+	avg := testing.AllocsPerRun(20, func() {
+		e.OpenLoop(dist, 4, 200, rng)
+	})
+	// Budget: the warm path may allocate a handful of words (histogram
+	// growth on an unlucky run), never the ~39 allocs / 413 KB a cold sim
+	// build costs.
+	if avg > 4 {
+		t.Errorf("warm OpenLoop allocates %.1f allocs/run, budget 4", avg)
+	}
+}

@@ -237,6 +237,71 @@ func (s *Sim) wireShardTopology() {
 // ShardCount returns the number of shards the sim runs on.
 func (s *Sim) ShardCount() int { return len(s.shards) }
 
+// Reset returns the sim to the state a fresh NewShardedSim on the same
+// engine and partition would have, rooted at rng, while keeping every
+// allocation: chunk arenas, queue tables, mailbox backing arrays, histogram
+// buckets, and the worker goroutines all survive. A warm (reset) run is
+// byte-identical to a cold one because the only run-visible state — queues,
+// per-tick wire usage, counters, histograms, epochs, and the rng-derived
+// plan seed — is restored exactly; the recycled storage is never observable.
+//
+// Sims that ran a fault schedule cannot be reset: SetFaults hands the
+// engine's liveness mask to the sim, so the pair is torn down together.
+func (s *Sim) Reset(rng *rand.Rand) {
+	if s.closed {
+		panic("routing: Reset on a closed Sim")
+	}
+	if s.faults != nil {
+		panic("routing: Reset on a Sim with a fault schedule; faulted runs need a fresh Engine")
+	}
+	for _, sh := range s.shards {
+		// Edge usage dirtied by the final move of the previous run is
+		// normally cleared at the start of the next move; clear it now so
+		// the first tick starts from zero usage.
+		for _, id := range sh.touched {
+			s.edgeUsed[id] = 0
+		}
+		sh.touched = sh.touched[:0]
+		// Every vertex with a non-empty queue is on its shard's active
+		// list (push activates, move prunes), so draining the active lists
+		// returns every live chunk chain to the arena.
+		for _, u := range sh.active {
+			if s.vq[u].n > 0 {
+				sh.qfree(&s.vq[u])
+			}
+			s.inActive[u] = false
+		}
+		sh.active = sh.active[:0]
+		sh.sortedLen = 0
+		for j := range sh.outbox {
+			sh.outbox[j] = sh.outbox[j][:0]
+		}
+		sh.latHist.Reset()
+		sh.queueOcc.Reset()
+		sh.maxQueue = 0
+		sh.tickDelivered, sh.tickDropped, sh.tickRetried = 0, 0, 0
+		sh.tickHops, sh.tickLatency = 0, 0
+	}
+	// Workers are idle between Steps (Step joins them), so plain stores are
+	// safe. Zeroing is mandatory: the epoch pipeline orders shards by
+	// comparing against the restarted tick counter.
+	for i := range s.epochs {
+		s.epochs[i].v.Store(0)
+	}
+	s.now = 0
+	s.injected, s.delivered, s.dropped, s.retried = 0, 0, 0, 0
+	s.totalHops, s.latencySum = 0, 0
+	s.maxQueue = 0
+	s.injectedTick, s.droppedTick = 0, 0
+	s.latMerged.Reset()
+	s.latMergedAt = -1
+	s.stats = nil
+	// Re-root the decision streams exactly as newSim does, consuming the
+	// same single draw from rng.
+	s.rng = rng
+	s.planState = uint64(measure.NewSeedPlan(rng.Int63()).Seed())
+}
+
 // Close releases the sim's worker goroutines. It is idempotent; only
 // Step panics afterwards, counters and Snapshot stay readable. Serial sims
 // have no workers, but closing them is harmless.
@@ -457,8 +522,17 @@ type OpenLoopResult struct {
 // the achieved steady-state throughput. The first quarter of the run is
 // treated as warm-up and excluded from the throughput/latency window.
 func (e *Engine) OpenLoop(dist traffic.Distribution, rate float64, ticks int, rng *rand.Rand) OpenLoopResult {
-	res, s := e.openLoop(dist, rate, ticks, rng, nil)
-	s.Close()
+	return e.OpenLoopSharded(dist, rate, ticks, rng, e.Shards)
+}
+
+// OpenLoopSharded is OpenLoop with an explicit shard count, so callers
+// sharing one engine across goroutines never mutate e.Shards. The run
+// recycles a pooled sim (see AcquireSim); results are byte-identical to a
+// cold run at every shard count.
+func (e *Engine) OpenLoopSharded(dist traffic.Distribution, rate float64, ticks int, rng *rand.Rand, shards int) OpenLoopResult {
+	s := e.AcquireSim(rng, shards)
+	res, _ := e.openLoop(dist, rate, ticks, rng, s)
+	e.ReleaseSim(s)
 	return res
 }
 
@@ -467,11 +541,17 @@ func (e *Engine) OpenLoop(dist traffic.Distribution, rate float64, ticks int, rn
 // histogram, top-k edge utilization, latency quantiles). topK bounds the
 // edge list; <= 0 means 10.
 func (e *Engine) OpenLoopSnapshot(dist traffic.Distribution, rate float64, ticks int, rng *rand.Rand, topK int) (OpenLoopResult, Snapshot) {
-	s := e.NewSim(rng)
-	defer s.Close()
+	return e.OpenLoopSnapshotSharded(dist, rate, ticks, rng, topK, e.Shards)
+}
+
+// OpenLoopSnapshotSharded is OpenLoopSnapshot with an explicit shard count.
+func (e *Engine) OpenLoopSnapshotSharded(dist traffic.Distribution, rate float64, ticks int, rng *rand.Rand, topK, shards int) (OpenLoopResult, Snapshot) {
+	s := e.AcquireSim(rng, shards)
 	s.EnableStats()
 	res, _ := e.openLoop(dist, rate, ticks, rng, s)
-	return res, s.Snapshot(topK)
+	snap := s.Snapshot(topK)
+	e.ReleaseSim(s)
+	return res, snap
 }
 
 // OpenLoopFaultsSnapshot is OpenLoopSnapshot with a fault schedule armed on
@@ -479,7 +559,14 @@ func (e *Engine) OpenLoopSnapshot(dist traffic.Distribution, rate float64, ticks
 // stranded packets retry/back off per opts, and the returned result and
 // snapshot carry the dropped/retried counters.
 func (e *Engine) OpenLoopFaultsSnapshot(dist traffic.Distribution, rate float64, ticks int, rng *rand.Rand, topK int, sched *topology.FaultSchedule, opts FaultOptions) (OpenLoopResult, Snapshot) {
-	s := e.NewSim(rng)
+	return e.OpenLoopFaultsSnapshotSharded(dist, rate, ticks, rng, topK, sched, opts, e.Shards)
+}
+
+// OpenLoopFaultsSnapshotSharded is OpenLoopFaultsSnapshot with an explicit
+// shard count. The sim is never pooled: SetFaults binds it to the engine's
+// liveness mask, so the pair belongs to this one run.
+func (e *Engine) OpenLoopFaultsSnapshotSharded(dist traffic.Distribution, rate float64, ticks int, rng *rand.Rand, topK int, sched *topology.FaultSchedule, opts FaultOptions, shards int) (OpenLoopResult, Snapshot) {
+	s := e.NewShardedSim(rng, shards)
 	defer s.Close()
 	s.EnableStats()
 	s.SetFaults(sched, opts)
@@ -542,6 +629,12 @@ func (e *Engine) openLoop(dist traffic.Distribution, rate float64, ticks int, rn
 // throughput at that rate — the steady-state (open-loop) estimate of β.
 // Typical use: upper = 2*E(G), ticks = 400, 12 iterations.
 func (e *Engine) SaturationRate(dist traffic.Distribution, upper float64, ticks, iters int, rng *rand.Rand) float64 {
+	return e.SaturationRateSharded(dist, upper, ticks, iters, rng, e.Shards)
+}
+
+// SaturationRateSharded is SaturationRate with an explicit shard count. All
+// bisection probes recycle one pooled sim.
+func (e *Engine) SaturationRateSharded(dist traffic.Distribution, upper float64, ticks, iters int, rng *rand.Rand, shards int) float64 {
 	if upper <= 0 {
 		panic("routing: non-positive upper bound")
 	}
@@ -552,7 +645,7 @@ func (e *Engine) SaturationRate(dist traffic.Distribution, upper float64, ticks,
 		if mid <= 0 {
 			break
 		}
-		res := e.OpenLoop(dist, mid, ticks, rng)
+		res := e.OpenLoopSharded(dist, mid, ticks, rng, shards)
 		if res.Stable {
 			lo = mid
 			if res.Throughput > best {

@@ -1,6 +1,7 @@
 package runspec
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -8,6 +9,7 @@ import (
 	"repro/internal/emulation"
 	"repro/internal/mapping"
 	"repro/internal/measure"
+	"repro/internal/profiling"
 	"repro/internal/routing"
 	"repro/internal/topology"
 	"repro/internal/traffic"
@@ -114,25 +116,7 @@ func Run(m *topology.Machine, s Spec) (Result, error) {
 	case KindSteadyBeta:
 		res.Beta = bandwidth.SteadyStateBetaSharded(m, s.Ticks, s.Iters, s.Shards, rand.New(rand.NewSource(s.Seed)))
 	case KindOpenLoop:
-		eng := routing.NewEngine(m, routing.Greedy)
-		eng.Shards = s.Shards
-		dist := traffic.NewSymmetric(m.N())
-		rng := rand.New(rand.NewSource(s.Seed))
-		switch {
-		case s.Faults != "":
-			sched := topology.MustParseFaultSpec(s.Faults).Materialize(m, rng)
-			ol, snap := eng.OpenLoopFaultsSnapshot(dist, s.Rate, s.Ticks, rng, s.TopK, sched, routing.FaultOptions{})
-			res.OpenLoop = &ol
-			if s.Snapshot {
-				res.Snapshot = &snap
-			}
-		case s.Snapshot:
-			ol, snap := eng.OpenLoopSnapshot(dist, s.Rate, s.Ticks, rng, s.TopK)
-			res.OpenLoop, res.Snapshot = &ol, &snap
-		default:
-			ol := eng.OpenLoop(dist, s.Rate, s.Ticks, rng)
-			res.OpenLoop = &ol
-		}
+		runOpenLoop(routing.NewEngine(m, routing.Greedy), m, s, &res)
 	case KindFaultCurve:
 		res.FaultCurve = bandwidth.MeasureBetaUnderFaultsSharded(m, s.FaultFracs, s.Ticks, s.Shards, measure.NewSeedPlan(s.Seed))
 	case KindLambda:
@@ -141,6 +125,31 @@ func Run(m *topology.Machine, s Spec) (Result, error) {
 		return Result{}, fmt.Errorf("runspec: emulate needs guest and host machines; use RunEmulation or Execute")
 	}
 	return res, nil
+}
+
+// runOpenLoop drives a KindOpenLoop spec on the given engine (owned by the
+// caller for faulted runs, possibly cached and shared otherwise) through
+// the explicit-shards entry points, so a shared engine is never mutated.
+// Run and runCached both funnel through it, which is what makes cached
+// open-loop results byte-identical to cold ones.
+func runOpenLoop(eng *routing.Engine, m *topology.Machine, s Spec, res *Result) {
+	dist := traffic.NewSymmetric(m.N())
+	rng := rand.New(rand.NewSource(s.Seed))
+	switch {
+	case s.Faults != "":
+		sched := topology.MustParseFaultSpec(s.Faults).Materialize(m, rng)
+		ol, snap := eng.OpenLoopFaultsSnapshotSharded(dist, s.Rate, s.Ticks, rng, s.TopK, sched, routing.FaultOptions{}, s.Shards)
+		res.OpenLoop = &ol
+		if s.Snapshot {
+			res.Snapshot = &snap
+		}
+	case s.Snapshot:
+		ol, snap := eng.OpenLoopSnapshotSharded(dist, s.Rate, s.Ticks, rng, s.TopK, s.Shards)
+		res.OpenLoop, res.Snapshot = &ol, &snap
+	default:
+		ol := eng.OpenLoopSharded(dist, s.Rate, s.Ticks, rng, s.Shards)
+		res.OpenLoop = &ol
+	}
 }
 
 // RunEmulation executes a KindEmulate spec against prebuilt guest and host
@@ -220,6 +229,13 @@ func Execute(s Spec) (Result, error) {
 	if err := s.Validate(); err != nil {
 		return Result{}, err
 	}
+	var res Result
+	var err error
+	labeled(s, func() { res, err = execute(s) })
+	return res, err
+}
+
+func execute(s Spec) (Result, error) {
 	if s.Kind == KindEmulate {
 		if s.Guest == nil || s.Host == nil {
 			return Result{}, fmt.Errorf("runspec: emulate needs both guest and host machine specs")
@@ -242,6 +258,19 @@ func Execute(s Spec) (Result, error) {
 		return Result{}, err
 	}
 	return Run(m, s)
+}
+
+// labeled runs fn under pprof labels naming the spec's kind and machine
+// family, so CPU profiles attribute simulation time per workload.
+func labeled(s Spec, fn func()) {
+	family := ""
+	switch {
+	case s.Machine != nil:
+		family = s.Machine.Family
+	case s.Guest != nil:
+		family = s.Guest.Family
+	}
+	profiling.Labeled(context.Background(), string(s.Kind), family, fn)
 }
 
 // buildTraffic resolves a Spec's traffic field against a machine.

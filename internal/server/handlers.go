@@ -194,7 +194,7 @@ func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request, defaultKind 
 		s.jobs.Add(1)
 		go func() {
 			defer s.jobs.Done()
-			body, status, errMsg := s.compute(spec, key, deadline)
+			body, status, errMsg := s.compute(spec, key, key, deadline)
 			s.coalescer.finish(key, cl, body, status, errMsg)
 		}()
 	} else {
@@ -230,7 +230,13 @@ func responseDiskKey(canonical string) string {
 // computing for a departed client helps nobody's cache but its own. The
 // panic guard mirrors the HTTP-layer one — simulations run off the
 // handler goroutine, so the middleware cannot see their panics.
-func (s *Server) compute(spec runspec.Spec, key string, deadline time.Time) (body []byte, status int, errMsg string) {
+//
+// key identifies the computation (memo/disk caches, coalescing);
+// ringKey picks the worker on the hash ring. They coincide for single
+// requests; sweeps pass the machine key as ringKey so every point of a
+// sweep lands on the worker whose artifact cache is hot for that
+// machine.
+func (s *Server) compute(spec runspec.Spec, key, ringKey string, deadline time.Time) (body []byte, status int, errMsg string) {
 	defer func() {
 		if v := recover(); v != nil {
 			s.metrics.panics.Add(1)
@@ -268,7 +274,7 @@ func (s *Server) compute(spec runspec.Spec, key string, deadline time.Time) (bod
 	// a request nobody is waiting for.
 	if s.cfg.Dispatch != nil {
 		fwdCtx, cancel := context.WithDeadline(s.execCtx, deadline)
-		body, status, errMsg, ok := s.forward(fwdCtx, spec, key)
+		body, status, errMsg, ok := s.forward(fwdCtx, spec, key, ringKey)
 		expired := fwdCtx.Err() != nil
 		cancel()
 		if ok {
@@ -294,7 +300,7 @@ func (s *Server) compute(spec runspec.Spec, key string, deadline time.Time) (bod
 	if spec.Shards == 0 {
 		spec.Shards = s.cfg.Shards
 	}
-	res, err := runspec.Execute(spec)
+	res, err := runspec.ExecuteCached(s.cfg.Artifacts, spec)
 	if err != nil {
 		return nil, http.StatusBadRequest, err.Error()
 	}
@@ -340,12 +346,12 @@ func ValidateWorkerBody(status int, body []byte) error {
 // poisoning the caches. A worker's non-retryable error is replayed
 // through writeError with the worker's own message, so the client sees
 // the same body a single-node server would have sent.
-func (s *Server) forward(ctx context.Context, spec runspec.Spec, key string) (body []byte, status int, errMsg string, ok bool) {
+func (s *Server) forward(ctx context.Context, spec runspec.Spec, key, ringKey string) (body []byte, status int, errMsg string, ok bool) {
 	wire, err := json.Marshal(spec)
 	if err != nil {
 		return nil, 0, "", false
 	}
-	res, fok := s.cfg.Dispatch.Forward(ctx, key, spec.Kind.Endpoint(), wire)
+	res, fok := s.cfg.Dispatch.Forward(ctx, ringKey, spec.Kind.Endpoint(), wire)
 	s.metrics.failovers.Add(int64(res.Failovers))
 	if !fok {
 		return nil, 0, "", false

@@ -27,6 +27,9 @@ type metrics struct {
 	timeout   atomic.Int64 // 504: deadline expired before the result
 	panics    atomic.Int64 // handler panics converted to 500
 
+	sweeps      atomic.Int64 // POST /v1/sweep requests accepted
+	sweepPoints atomic.Int64 // sweep points streamed successfully
+
 	// Coordinator-only counters; surfaced under the "cluster" key of the
 	// snapshot when a dispatcher is configured.
 	forwarded     atomic.Int64 // computations answered by a worker
@@ -78,6 +81,8 @@ type metricsSnapshot struct {
 	ShedDraining  int64                      `json:"shed_draining"`
 	Timeouts      int64                      `json:"timeouts"`
 	Panics        int64                      `json:"panics"`
+	Sweeps        int64                      `json:"sweeps"`
+	SweepPoints   int64                      `json:"sweep_points"`
 	Cluster       *clusterReport             `json:"cluster,omitempty"`
 	Endpoints     map[string]endpointReport  `json:"endpoints"`
 }
@@ -120,6 +125,8 @@ func (m *metrics) snapshot() metricsSnapshot {
 		ShedDraining:  m.shed503.Load(),
 		Timeouts:      m.timeout.Load(),
 		Panics:        m.panics.Load(),
+		Sweeps:        m.sweeps.Load(),
+		SweepPoints:   m.sweepPoints.Load(),
 		Endpoints:     make(map[string]endpointReport),
 	}
 	m.mu.Lock()

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/runspec"
 	"repro/internal/server/cluster"
 )
 
@@ -54,6 +55,11 @@ type Config struct {
 	// only run locally when no worker answers. The caller owns the
 	// dispatcher's lifecycle (Start before serving, Close on shutdown).
 	Dispatch *cluster.Dispatcher
+	// Artifacts, when non-nil, is the machine/engine cache local
+	// executions run over. New installs a default-bounded cache when nil,
+	// so warm sweep points (and repeated measurements of one machine)
+	// skip the machine and engine builds entirely.
+	Artifacts *runspec.ArtifactCache
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +109,9 @@ const memoCapEntries = 4096
 // http.Server (or httptest.Server) of your choosing.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	if cfg.Artifacts == nil {
+		cfg.Artifacts = runspec.NewArtifactCache(0, 0)
+	}
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:       cfg,
@@ -116,6 +125,7 @@ func New(cfg Config) *Server {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/measure", s.instrument("/v1/measure", s.handleMeasure))
+	mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
 	mux.HandleFunc("POST /v1/emulate", s.instrument("/v1/emulate", s.handleEmulate))
 	mux.HandleFunc("GET /v1/tables/{id}", s.instrument("/v1/tables", s.handleTables))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)

@@ -135,6 +135,22 @@ func (f *Measure) BetaSpec(size int) runspec.Spec {
 	}
 }
 
+// SweepSpec batches the whole -sizes sweep into one runspec.SweepSpec:
+// the first size is the base, every size (including the first) is a
+// point overriding the machine. Executing it over one artifact cache
+// gives each size's RunResult byte-identical to the equivalent
+// individual BetaSpec execution — the same contract netemud's
+// POST /v1/sweep serves over the wire.
+func (f *Measure) SweepSpec(shards int) runspec.SweepSpec {
+	base := f.BetaSpec(f.SizeList[0])
+	base.Shards = shards
+	points := make([]runspec.SweepPoint, len(f.SizeList))
+	for i, size := range f.SizeList {
+		points[i] = runspec.SweepPoint{Machine: f.BetaSpec(size).Machine}
+	}
+	return runspec.SweepSpec{Base: base, Points: points}
+}
+
 // Emulate is emusim's knob set.
 type Emulate struct {
 	Guest      string

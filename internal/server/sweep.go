@@ -1,0 +1,116 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"repro/internal/runspec"
+)
+
+// maxSweepBodyBytes bounds sweep request bodies. A point is a sparse
+// override of a few hundred bytes, so even a MaxSweepPoints sweep fits
+// comfortably.
+const maxSweepBodyBytes = 4 << 20
+
+// handleSweep serves POST /v1/sweep: one base measurement spec plus a
+// vector of knob points, streamed back point by point. Each point runs
+// through exactly the /v1/measure pipeline — memo cache, coalescing,
+// disk cache, cluster forward, admission — under the point's own
+// canonical key, so a sweep response is byte-for-byte the concatenation
+// of the individual /v1/measure responses (CI diffs this).
+//
+// What the batch adds is affinity: points execute in order over the
+// server's shared artifact cache, so every point after the first reuses
+// the built machine, the engine's distance fields, and the pooled sim
+// arenas; and in cluster mode each point is dispatched by its *machine*
+// key rather than its spec key, so a whole sweep lands on the one
+// worker whose cache is hot for that machine.
+//
+// Errors: a bad sweep (malformed body, invalid point) is a plain 4xx
+// before any point runs. Once streaming has begun the status line is
+// gone, so a failing point appends its {"error": ...} document where
+// its result would have been and ends the stream.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		s.metrics.shed503.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	var sw runspec.SweepSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSweepBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sw); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed request body: "+err.Error())
+		return
+	}
+	specs, err := sw.Specs()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.metrics.sweeps.Add(1)
+
+	// One deadline covers the whole sweep; a memo-warm sweep answers in
+	// microseconds per point, so the budget is spent on cold points.
+	deadline := time.Now().Add(requestTimeout(r, s.cfg.DefaultTimeout))
+	ctx, cancel := context.WithDeadline(r.Context(), deadline)
+	defer cancel()
+
+	flusher, _ := w.(http.Flusher)
+	streamed := false
+	for _, spec := range specs {
+		body, status, errMsg := s.sweepPoint(ctx, spec, deadline)
+		if status != http.StatusOK {
+			if !streamed {
+				// Nothing written yet: the sweep can still carry an
+				// honest status line.
+				writeError(w, status, errMsg)
+				return
+			}
+			b, _ := json.Marshal(errorBody{Error: errMsg})
+			w.Write(append(b, '\n'))
+			return
+		}
+		if !streamed {
+			w.Header().Set("Content-Type", "application/json")
+			streamed = true
+		}
+		s.metrics.sweepPoints.Add(1)
+		w.Write(body)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// sweepPoint resolves one point of a sweep: memo hit, or coalesced
+// computation keyed by the point's canonical spec but ring-dispatched
+// by its machine key.
+func (s *Server) sweepPoint(ctx context.Context, spec runspec.Spec, deadline time.Time) (body []byte, status int, errMsg string) {
+	key := spec.Canonical()
+	if b, ok := s.memoLoad(key); ok {
+		s.metrics.memoHits.Add(1)
+		return b, http.StatusOK, ""
+	}
+	ringKey := runspec.MachineKey(*spec.Machine)
+	cl, leader := s.coalescer.join(key)
+	if leader {
+		s.jobs.Add(1)
+		go func() {
+			defer s.jobs.Done()
+			b, st, msg := s.compute(spec, key, ringKey, deadline)
+			s.coalescer.finish(key, cl, b, st, msg)
+		}()
+	} else {
+		s.metrics.coalesced.Add(1)
+	}
+	select {
+	case <-cl.done:
+		return cl.body, cl.status, cl.errMsg
+	case <-ctx.Done():
+		s.metrics.timeout.Add(1)
+		return nil, http.StatusGatewayTimeout, "deadline expired before the result was ready"
+	}
+}

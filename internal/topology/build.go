@@ -84,6 +84,15 @@ func needRNG(f Family, rng *rand.Rand) *rand.Rand {
 	return rng
 }
 
+// RandomizedFamily reports whether Build consumes rng draws for f — the
+// families whose construction is itself randomized. For every other family
+// Build is a pure function of (family, dim, size), which is what lets
+// machine caches hand the same instance to callers that would otherwise
+// build their own on differently-positioned rng streams.
+func RandomizedFamily(f Family) bool {
+	return f == MultibutterflyFamily || f == ExpanderFamily
+}
+
 func maxInt(a, b int) int {
 	if a > b {
 		return a

@@ -14,6 +14,8 @@
 #   SEED         plan seed (default 1)
 #   BASE_PORT    first of three consecutive localhost ports (default 18090)
 #   DIFF_SINGLE  1 = also replay against a single node and diff responses
+#   SWEEP_OUT    where to record the /v1/sweep endpoint benchmark
+#                (default BENCH_sweep.json; empty string skips it)
 set -eu
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_netemud.json}"
@@ -72,3 +74,13 @@ if [ "${DIFF_SINGLE:-0}" = "1" ]; then
     rm -rf "$resp_single"
 fi
 rm -rf "$resp_cluster"
+
+sweep_out="${SWEEP_OUT-BENCH_sweep.json}"
+if [ -n "$sweep_out" ]; then
+    raw="$(mktemp)"
+    go test ./internal/server/ -run '^$' -bench 'BenchmarkSweepEndpoint' \
+        -benchmem -benchtime "${BENCHTIME:-10x}" -count "${COUNT:-3}" | tee "$raw"
+    go run ./cmd/benchjson < "$raw" > "$sweep_out"
+    rm -f "$raw"
+    echo "wrote $sweep_out"
+fi

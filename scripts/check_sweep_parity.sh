@@ -1,0 +1,51 @@
+#!/bin/sh
+# Sweep-parity contract: a POST /v1/sweep response must be byte-for-byte
+# the concatenation of the individual POST /v1/measure responses for its
+# merged points. Boots a single netemud, runs one multi-point sweep
+# (three rates and a second machine size over one mesh family, plus a
+# beta sweep), replays every point individually, and diffs.
+#
+# Usage:  scripts/check_sweep_parity.sh
+#
+# Environment:
+#   PORT  localhost port for the server (default 18099)
+set -eu
+cd "$(dirname "$0")/.."
+port="${PORT:-18099}"
+
+bin="$(mktemp -d)"
+pids=""
+trap 'for p in $pids; do kill "$p" 2>/dev/null || true; done; rm -rf "$bin"' EXIT
+go build -o "$bin/netemud" ./cmd/netemud
+
+"$bin/netemud" -addr "127.0.0.1:$port" -concurrency 2 &
+pids="$pids $!"
+for _ in $(seq 1 50); do
+    curl -sf "http://127.0.0.1:$port/healthz" >/dev/null 2>&1 && break
+    sleep 0.2
+done
+
+base="http://127.0.0.1:$port"
+check_sweep() {
+    name="$1"; sweep="$2"; shift 2
+    curl -sf -X POST -d "$sweep" "$base/v1/sweep" > "$bin/sweep.$name"
+    : > "$bin/individual.$name"
+    for spec in "$@"; do
+        curl -sf -X POST -d "$spec" "$base/v1/measure" >> "$bin/individual.$name"
+    done
+    diff "$bin/sweep.$name" "$bin/individual.$name"
+    echo "sweep parity ok: $name ($# points)"
+}
+
+check_sweep open-loop \
+    '{"base":{"kind":"open-loop","machine":{"family":"Mesh","dim":2,"size":64},"rate":2,"ticks":80,"seed":5},"points":[{},{"rate":4},{"rate":6},{"machine":{"family":"Mesh","dim":2,"size":144}}]}' \
+    '{"kind":"open-loop","machine":{"family":"Mesh","dim":2,"size":64},"rate":2,"ticks":80,"seed":5}' \
+    '{"kind":"open-loop","machine":{"family":"Mesh","dim":2,"size":64},"rate":4,"ticks":80,"seed":5}' \
+    '{"kind":"open-loop","machine":{"family":"Mesh","dim":2,"size":64},"rate":6,"ticks":80,"seed":5}' \
+    '{"kind":"open-loop","machine":{"family":"Mesh","dim":2,"size":144},"rate":2,"ticks":80,"seed":5}'
+
+check_sweep beta \
+    '{"base":{"kind":"beta","machine":{"family":"DeBruijn","size":16},"load_factors":[2,4],"trials":1,"seed":3},"points":[{},{"seed":4},{"strategy":"valiant"}]}' \
+    '{"kind":"beta","machine":{"family":"DeBruijn","size":16},"load_factors":[2,4],"trials":1,"seed":3}' \
+    '{"kind":"beta","machine":{"family":"DeBruijn","size":16},"load_factors":[2,4],"trials":1,"seed":4}' \
+    '{"kind":"beta","machine":{"family":"DeBruijn","size":16},"load_factors":[2,4],"trials":1,"strategy":"valiant","seed":3}'
