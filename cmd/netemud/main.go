@@ -11,6 +11,16 @@
 //	                        of /v1/measure responses
 //	POST /v1/emulate        direct / circuit / pipelined / mapped / degraded
 //	GET  /v1/tables/{1..4}  the paper's reproduced tables (plain text)
+//	GET  /v1/results        query the persistent result store (-store):
+//	                        filter by kind / family / since, cursor pagination
+//	GET  /v1/results/{key}  one stored result body, byte-identical to the
+//	                        POST response for the same spec
+//	GET  /v1/crossover      crossover surface assembled from every stored
+//	                        emulation of a guest/host family pair
+//	GET  /v1/meta           discovery: role, endpoints, error codes, the
+//	                        canonical-spec and result-key prefixes
+//	GET  /v1/sweeps/stream  SSE feed of scheduled sweep progress (-sweeps);
+//	                        late subscribers replay recent events
 //	GET  /healthz           liveness (503 "draining" once a drain begins)
 //	GET  /metrics           request/cache/coalescing/cluster counters + latency
 //	POST /drainz            begin a graceful drain: healthz flips to 503 so
@@ -25,6 +35,19 @@
 // coalesce into one simulation; distinct requests pass a bounded
 // admission queue (429 when full, 503 while draining) and optionally
 // persist through the same disk-cache format the report pipeline uses.
+//
+// Every error response carries the unified envelope
+// {"error":{"code":"…","message":"…"}} with codes bad_spec, queue_full,
+// draining, deadline, not_found, and internal; GET /v1/meta lists the
+// full taxonomy with HTTP statuses and which codes are retryable.
+//
+// With -store DIR every 200 measurement and emulation response is also
+// appended to a crash-safe result store, queryable through the GET
+// /v1/results endpoints and stable across restarts: re-querying a key
+// returns the stored body byte-for-byte. With -sweeps FILE a background
+// scheduler replays the configured sweep jobs at low priority (never
+// displacing interactive requests), lands each point in the store, and
+// streams progress on /v1/sweeps/stream.
 //
 // Distributed mode: `-coordinator -workers host1:port,host2:port` fans
 // computations out to a pool of plain netemud processes (run them with
@@ -41,6 +64,7 @@
 //	netemud [-addr :8080] [-concurrency N] [-queue 16]
 //	        [-request-timeout 60s] [-shards 1]
 //	        [-cache DIR] [-cache-max-bytes N]
+//	        [-store DIR] [-sweeps FILE]
 //	        [-read-header-timeout 10s] [-idle-timeout 2m] [-max-header-bytes 65536]
 //	        [-coordinator -workers host:port,... [-health-interval 2s] [-forward-timeout 90s]]
 //	        [-worker]
@@ -60,8 +84,10 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/schedule"
 	"repro/internal/server"
 	"repro/internal/server/cluster"
+	"repro/internal/store"
 )
 
 func main() {
@@ -74,6 +100,8 @@ func main() {
 	shards := flag.Int("shards", 1, "simulator shards per computation for specs that leave shards unset (0 = one per CPU); results are identical at any value")
 	cacheDir := flag.String("cache", "", "persist responses in this directory across restarts; shares the report pipeline's cache format")
 	cacheMax := flag.Int64("cache-max-bytes", 0, "evict least-recently-used -cache entries once the directory exceeds this size (0 = unlimited)")
+	storeDir := flag.String("store", "", "append every 200 response to a crash-safe result store in this directory; enables the GET /v1/results endpoints")
+	sweepsFile := flag.String("sweeps", "", "JSON sweep-job file; a background scheduler replays each job at low priority and streams progress on /v1/sweeps/stream")
 	drain := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight computations")
 
 	// Listener hardening. Handler-level deadlines stay with the
@@ -111,6 +139,14 @@ func main() {
 	if cfg.Shards == 0 {
 		cfg.Shards = runtime.GOMAXPROCS(0)
 	}
+	switch {
+	case *coordinator:
+		cfg.Role = "coordinator"
+	case *worker:
+		cfg.Role = "worker"
+	default:
+		cfg.Role = "single"
+	}
 	if *cacheDir != "" {
 		cache, err := experiment.OpenDiskCache(*cacheDir)
 		if err != nil {
@@ -118,6 +154,26 @@ func main() {
 		}
 		cache.SetMaxBytes(*cacheMax)
 		cfg.Cache = cache
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer st.Close()
+		cfg.Store = st
+	}
+	var sweepJobs []schedule.SweepJob
+	if *sweepsFile != "" {
+		jobs, err := schedule.LoadJobs(*sweepsFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sweepJobs = jobs
+		cfg.SweepHub = schedule.NewHub(0)
+		if *storeDir == "" {
+			log.Print("-sweeps without -store: scheduled points warm caches but are not queryable afterwards")
+		}
 	}
 
 	var dispatch *cluster.Dispatcher
@@ -137,6 +193,12 @@ func main() {
 	}
 
 	srv := server.New(cfg)
+	var sweeper *schedule.Sweeper
+	if len(sweepJobs) > 0 {
+		sweeper = schedule.NewSweeper(sweepJobs, srv.RunScheduled, cfg.SweepHub)
+		sweeper.Start()
+		log.Printf("scheduler: %d sweep job(s) from %s", len(sweepJobs), *sweepsFile)
+	}
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -173,7 +235,14 @@ func main() {
 
 	// Graceful drain: shed new work with 503, let admitted computations
 	// finish, then stop listening. A second deadline guards the whole
-	// sequence; whatever is still running after it is abandoned.
+	// sequence; whatever is still running after it is abandoned. The
+	// sweeper stops first so no scheduled point races the drain, and
+	// closing the hub ends any /v1/sweeps/stream subscribers so they
+	// don't hold Shutdown open.
+	if sweeper != nil {
+		sweeper.Stop()
+		cfg.SweepHub.Close()
+	}
 	srv.BeginDrain()
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()

@@ -9,10 +9,18 @@
 // are directly comparable, and with -responses DIR the saved response
 // bodies can be diffed file-by-file — the CI cluster-parity check.
 //
+// With -reads the plan also mixes in GET /v1/results store queries and
+// GET /v1/meta discovery requests (the target must run with -store).
+// Their responses depend on what the store holds at the moment each
+// read lands, so they are saved under distinct names (read-NNNN.json,
+// meta-NNNN.json) that a parity diff can exclude; the compute requests
+// in the plan are unchanged by the flag.
+//
 // Usage:
 //
 //	netemuload -target http://127.0.0.1:8080 [-requests 120] [-concurrency 4]
-//	           [-seed 1] [-o BENCH_netemud.json] [-responses DIR] [-fail-on-error]
+//	           [-seed 1] [-reads] [-o BENCH_netemud.json] [-responses DIR]
+//	           [-fail-on-error]
 package main
 
 import (
@@ -41,6 +49,7 @@ func main() {
 	requests := flag.Int("requests", 120, "how many requests the plan holds")
 	concurrency := flag.Int("concurrency", 4, "concurrent replay workers")
 	seed := flag.Int64("seed", 1, "plan seed; same seed + same -requests = identical plan")
+	reads := flag.Bool("reads", false, "mix GET /v1/results and GET /v1/meta requests into the plan (target needs -store)")
 	out := flag.String("o", "BENCH_netemud.json", "write the latency/throughput report here (- = stdout)")
 	responses := flag.String("responses", "", "also save each response body to this directory (resp-NNNN.json) for diffing runs")
 	failOnError := flag.Bool("fail-on-error", false, "exit nonzero if any request returns a non-200 status")
@@ -61,7 +70,7 @@ func main() {
 		}
 	}
 
-	plan := loadplan.Build(*seed, *requests)
+	plan := loadplan.BuildWithOptions(*seed, *requests, loadplan.Options{Reads: *reads})
 	stats := newStats()
 	queue := make(chan loadplan.Request)
 	var wg sync.WaitGroup
@@ -128,11 +137,21 @@ func replay(client *http.Client, base string, req loadplan.Request, responsesDir
 	}
 	st.record(req.Kind, status, micros)
 	if responsesDir != "" {
-		name := fmt.Sprintf("resp-%04d.json", req.Idx)
+		// Store reads and meta probes get their own name prefixes so a
+		// parity diff can exclude them: their bodies depend on store
+		// timing and deployment role, not on the compute contract.
+		prefix := "resp"
+		switch req.Kind {
+		case "results":
+			prefix = "read"
+		case "meta":
+			prefix = "meta"
+		}
+		name := fmt.Sprintf("%s-%04d.json", prefix, req.Idx)
 		if status != http.StatusOK {
 			// Fold the status into the name so a diff between two replays
 			// catches status divergence, not just body divergence.
-			name = fmt.Sprintf("resp-%04d.err-%d", req.Idx, status)
+			name = fmt.Sprintf("%s-%04d.err-%d", prefix, req.Idx, status)
 		}
 		if werr := os.WriteFile(filepath.Join(responsesDir, name), body, 0o644); werr != nil {
 			log.Printf("saving %s: %v", name, werr)

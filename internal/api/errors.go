@@ -1,0 +1,94 @@
+// Package api defines the wire-level error envelope shared by every
+// /v1/* endpoint, the cluster dispatcher, and the chaos proxy. All
+// error responses carry one structured document:
+//
+//	{"error": {"code": "queue_full", "message": "server overloaded: ..."}}
+//
+// The code is the machine-readable contract — clients and the cluster
+// retry taxonomy key on it, never on message text or status-string
+// matching. The message is for humans and may change freely.
+package api
+
+import "encoding/json"
+
+// The stable error codes. These are API surface: removing or renaming
+// one is a breaking change.
+const (
+	// CodeBadSpec: the request body failed to parse or the RunSpec
+	// failed validation. Deterministic — every worker answers the same
+	// way, so it is never retried.
+	CodeBadSpec = "bad_spec"
+	// CodeQueueFull: the admission queue rejected the work (HTTP 429).
+	// Retryable — another worker may have capacity.
+	CodeQueueFull = "queue_full"
+	// CodeDraining: the server is shutting down (HTTP 503). Retryable —
+	// ring successors are still serving.
+	CodeDraining = "draining"
+	// CodeDeadline: the client's deadline expired before the result was
+	// ready (HTTP 504). Not retried: the budget is already spent.
+	CodeDeadline = "deadline"
+	// CodeNotFound: the named resource does not exist (HTTP 404).
+	CodeNotFound = "not_found"
+	// CodeInternal: a panic, encoding failure, or transport-level break
+	// (HTTP 5xx). Deterministic failures are not retried; transport 502s
+	// are handled by status, see cluster retry rules.
+	CodeInternal = "internal"
+)
+
+// ErrorDetail is the inner error object.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorBody is the full envelope document.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// Envelope renders the wire bytes for one error, newline-terminated
+// like every other netemud response body.
+func Envelope(code, msg string) []byte {
+	b, _ := json.Marshal(ErrorBody{Error: ErrorDetail{Code: code, Message: msg}})
+	return append(b, '\n')
+}
+
+// ParseError extracts the code and message from an envelope body.
+// ok is false when the body is not an envelope (a result document, a
+// plain-text proxy error, an empty body).
+func ParseError(body []byte) (code, msg string, ok bool) {
+	var e ErrorBody
+	if json.Unmarshal(body, &e) != nil || e.Error.Code == "" {
+		return "", "", false
+	}
+	return e.Error.Code, e.Error.Message, true
+}
+
+// CodeForStatus maps an HTTP status to the code a netemud server would
+// have used — the fallback when replaying an error from a peer that
+// did not (or could not) send an envelope.
+func CodeForStatus(status int) string {
+	switch status {
+	case 400:
+		return CodeBadSpec
+	case 404:
+		return CodeNotFound
+	case 429:
+		return CodeQueueFull
+	case 503:
+		return CodeDraining
+	case 504:
+		return CodeDeadline
+	default:
+		return CodeInternal
+	}
+}
+
+// Retryable reports whether an error code means "this worker can't
+// take the request right now, a ring successor might": the spill
+// decision the cluster dispatcher keys on. bad_spec, deadline,
+// not_found, and internal are deterministic or budget-spent — every
+// worker would answer identically, so they are final.
+func Retryable(code string) bool {
+	return code == CodeQueueFull || code == CodeDraining
+}

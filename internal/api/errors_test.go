@@ -1,0 +1,54 @@
+package api
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	b := Envelope(CodeQueueFull, "server overloaded")
+	if !strings.HasSuffix(string(b), "\n") {
+		t.Fatal("envelope not newline-terminated")
+	}
+	code, msg, ok := ParseError(b)
+	if !ok || code != CodeQueueFull || msg != "server overloaded" {
+		t.Fatalf("round trip: code=%q msg=%q ok=%v", code, msg, ok)
+	}
+}
+
+func TestParseErrorRejectsNonEnvelopes(t *testing.T) {
+	for _, body := range []string{
+		`{"kind":"beta","beta":1.5}`,     // a result document
+		`{"error":"legacy flat string"}`, // the pre-envelope shape
+		`not json at all`,
+		``,
+		`{"error":{"message":"no code"}}`,
+	} {
+		if _, _, ok := ParseError([]byte(body)); ok {
+			t.Errorf("ParseError accepted %q", body)
+		}
+	}
+}
+
+func TestCodeForStatusCoversTheTaxonomy(t *testing.T) {
+	cases := map[int]string{
+		400: CodeBadSpec, 404: CodeNotFound, 429: CodeQueueFull,
+		503: CodeDraining, 504: CodeDeadline, 500: CodeInternal, 502: CodeInternal,
+	}
+	for status, want := range cases {
+		if got := CodeForStatus(status); got != want {
+			t.Errorf("CodeForStatus(%d) = %q, want %q", status, got, want)
+		}
+	}
+}
+
+func TestRetryableMatchesClusterSpillRules(t *testing.T) {
+	for code, want := range map[string]bool{
+		CodeQueueFull: true, CodeDraining: true,
+		CodeBadSpec: false, CodeDeadline: false, CodeNotFound: false, CodeInternal: false,
+	} {
+		if Retryable(code) != want {
+			t.Errorf("Retryable(%q) = %v, want %v", code, !want, want)
+		}
+	}
+}

@@ -11,6 +11,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/api"
 )
 
 // Error is the transport-level failure the injector returns for drop
@@ -176,8 +178,11 @@ func NewProxy(target string, rt http.RoundTripper) http.Handler {
 	p.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
 		// A chaos-injected transport failure surfaces as the 502 the
 		// dispatcher's retry taxonomy already treats as "spill to the
-		// ring successor".
-		http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusBadGateway)
+		// ring successor" (502 spills by status — it is the one error a
+		// worker envelope can't carry, since the worker never answered).
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadGateway)
+		w.Write(api.Envelope(api.CodeInternal, err.Error()))
 	}
 	return p
 }

@@ -24,12 +24,39 @@ type Request struct {
 	Body   []byte
 }
 
+// Options tunes plan generation beyond the deterministic default mix.
+type Options struct {
+	// Reads mixes in GET /v1/results store queries and GET /v1/meta
+	// discovery requests (~15% of the plan) so a replay covers the
+	// read path as well as the compute path. The target must run with
+	// -store or the results queries return 404. Read responses depend
+	// on what has been stored when they land, so they are not part of
+	// the byte-identity parity contract — the bench diff excludes them.
+	Reads bool
+}
+
 // Build generates the deterministic request mix. Weights favour the
 // cheap cache-friendly kinds so a replay exercises routing and caching
 // rather than saturating one slow simulation; seeds and machine shapes
 // vary so the canonical keys spread across a cluster's hash ring.
+//
+// Build(seed, n) is frozen: it must keep producing byte-identical
+// plans release over release (the chaos harness and the cluster-parity
+// diff both depend on it). New mix ingredients go behind Options.
 func Build(seed int64, n int) []Request {
+	return BuildWithOptions(seed, n, Options{})
+}
+
+// BuildWithOptions is Build with the optional extras enabled. With the
+// zero Options it is exactly Build: the read mix draws from its own
+// rng stream, so enabling it never perturbs which POST bodies the
+// primary stream generates.
+func BuildWithOptions(seed int64, n int, opts Options) []Request {
 	rng := rand.New(rand.NewSource(seed))
+	var readRng *rand.Rand
+	if opts.Reads {
+		readRng = rand.New(rand.NewSource(seed ^ 0x52454144)) // "READ"
+	}
 	meshes := []int{16, 25, 36, 64}
 	cubes := []int{8, 16}
 	plan := make([]Request, 0, n)
@@ -56,7 +83,24 @@ func Build(seed int64, n int) []Request {
 		}
 		return mesh()
 	}
+	readKinds := []string{"", "beta", "lambda", "emulate"}
 	for i := 0; i < n; i++ {
+		if readRng != nil && readRng.Intn(100) < 15 {
+			if readRng.Intn(3) == 0 {
+				plan = append(plan, Request{
+					Idx: i, Kind: "meta", Method: http.MethodGet, Path: "/v1/meta",
+				})
+			} else {
+				path := fmt.Sprintf("/v1/results?limit=%d", 50+readRng.Intn(200))
+				if kind := readKinds[readRng.Intn(len(readKinds))]; kind != "" {
+					path += "&kind=" + kind
+				}
+				plan = append(plan, Request{
+					Idx: i, Kind: "results", Method: http.MethodGet, Path: path,
+				})
+			}
+			continue
+		}
 		runSeed := int64(rng.Intn(8))
 		switch p := rng.Intn(100); {
 		case p < 30: // beta

@@ -1,9 +1,11 @@
 package loadplan
 
 import (
+	"bytes"
 	"encoding/json"
 	"net/http"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -51,6 +53,50 @@ func TestBuildRequestsAreWellFormed(t *testing.T) {
 	for _, k := range []string{"beta", "lambda", "open-loop", "steady-beta", "fault-curve", "emulate", "tables"} {
 		if kinds[k] == 0 {
 			t.Fatalf("kind %q never appears in a 200-request plan: %v", k, kinds)
+		}
+	}
+}
+
+func TestBuildWithZeroOptionsIsBuild(t *testing.T) {
+	if !reflect.DeepEqual(Build(11, 150), BuildWithOptions(11, 150, Options{})) {
+		t.Fatal("BuildWithOptions(zero) diverged from the frozen Build plan")
+	}
+}
+
+func TestBuildWithReadsMixesInStoreQueries(t *testing.T) {
+	plan := BuildWithOptions(9, 300, Options{Reads: true})
+	if !reflect.DeepEqual(plan, BuildWithOptions(9, 300, Options{Reads: true})) {
+		t.Fatal("read mix is not deterministic")
+	}
+	base := Build(9, 300)
+	var results, metas int
+	var rest []Request
+	for _, r := range plan {
+		switch r.Kind {
+		case "results":
+			if r.Method != http.MethodGet || r.Body != nil || !strings.HasPrefix(r.Path, "/v1/results?limit=") {
+				t.Fatalf("malformed results read: %+v", r)
+			}
+			results++
+		case "meta":
+			if r.Method != http.MethodGet || r.Body != nil || r.Path != "/v1/meta" {
+				t.Fatalf("malformed meta read: %+v", r)
+			}
+			metas++
+		default:
+			rest = append(rest, r)
+		}
+	}
+	if results == 0 || metas == 0 {
+		t.Fatalf("read mix missing a shape: %d results, %d metas in 300", results, metas)
+	}
+	// Reads displace compute slots but never perturb them: the
+	// surviving requests are exactly a prefix of the frozen Build
+	// plan (indices shift, contents don't).
+	for i, r := range rest {
+		want := base[i]
+		if r.Kind != want.Kind || r.Method != want.Method || r.Path != want.Path || !bytes.Equal(r.Body, want.Body) {
+			t.Fatalf("compute request %d perturbed by read mix:\ngot  %+v\nwant %+v", i, r, want)
 		}
 	}
 }

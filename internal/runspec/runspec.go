@@ -362,6 +362,11 @@ func (ms MachineSpec) validate(field string) error {
 // an older build can never collide with the new semantics.
 const canonicalVersion = "v1"
 
+// CanonicalPrefix is the version prefix every Canonical() string starts
+// with — the discovery endpoint (/v1/meta) advertises it so clients can
+// detect a key-schema change without parsing keys.
+const CanonicalPrefix = "runspec/" + canonicalVersion + "/"
+
 // stripRepresentation clears the fields that select how a run executes
 // rather than what it computes: the shard count and the machines'
 // adjacency representations. Machine-spec pointers are copied before

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync/atomic"
+	"time"
 )
 
 // Bounded admission: at most maxConcurrent simulations run at once, at
@@ -56,3 +57,29 @@ func (a *admission) acquire(ctx context.Context) error {
 }
 
 func (a *admission) release() { <-a.slots }
+
+// acquireLow is the background scheduler's entry: it only ever takes a
+// slot that is free at a moment when no normal-priority request is
+// waiting, and it never occupies queue depth — scheduled pre-warming
+// must not cost a client request its 429 budget or its place in line.
+// It polls rather than queueing because a queued low-priority waiter
+// would race freshly arriving normal work for the next free slot; the
+// poll interval is irrelevant at scheduler time scales.
+func (a *admission) acquireLow(ctx context.Context) error {
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if a.waiting.Load() == 0 {
+			select {
+			case a.slots <- struct{}{}:
+				return nil
+			default:
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/api"
 )
 
 // The ring contract: deterministic routing independent of pool listing
@@ -52,7 +54,7 @@ func TestRingBalance(t *testing.T) {
 	counts := map[string]int{}
 	const keys = 4000
 	for i := 0; i < keys; i++ {
-		counts[r.Successors(strings.Repeat("x", i%17)+string(rune('a'+i%26))+strings.Repeat("k", i%7))[0]]++
+		counts[r.Successors(strings.Repeat("x", i%17) + string(rune('a'+i%26)) + strings.Repeat("k", i%7))[0]]++
 	}
 	for _, w := range workers {
 		share := float64(counts[w]) / keys
@@ -192,7 +194,7 @@ func TestForwardFailsOverToRingSuccessor(t *testing.T) {
 
 func TestForwardRetryableStatusesMoveOn(t *testing.T) {
 	var hits1, hits2 atomic.Int64
-	ts1 := healthzServer(t, &hits1, http.StatusTooManyRequests, `{"error":"queue full"}`)
+	ts1 := healthzServer(t, &hits1, http.StatusTooManyRequests, string(api.Envelope(api.CodeQueueFull, "server overloaded: admission queue full")))
 	ts2 := healthzServer(t, &hits2, 200, `{"from":"2"}`)
 	w1, w2 := addrOf(ts1), addrOf(ts2)
 	d := NewDispatcher([]string{w1, w2}, fastOpts())
@@ -214,7 +216,7 @@ func TestForwardRetryableStatusesMoveOn(t *testing.T) {
 
 func TestForwardErrorStatusesPassThrough(t *testing.T) {
 	var hits1, hits2 atomic.Int64
-	ts1 := healthzServer(t, &hits1, http.StatusBadRequest, `{"error":"runspec: unknown kind"}`)
+	ts1 := healthzServer(t, &hits1, http.StatusBadRequest, string(api.Envelope(api.CodeBadSpec, "runspec: unknown kind")))
 	ts2 := healthzServer(t, &hits2, 200, `{}`)
 	w1 := addrOf(ts1)
 	d := NewDispatcher([]string{w1, addrOf(ts2)}, fastOpts())
@@ -311,7 +313,7 @@ func TestBreakerDisabledByNegativeThreshold(t *testing.T) {
 
 func TestDispatcherOpensBreakerOnRepeatedRetryableStatuses(t *testing.T) {
 	var hits1, hits2 atomic.Int64
-	ts1 := healthzServer(t, &hits1, http.StatusServiceUnavailable, `{"error":"draining"}`)
+	ts1 := healthzServer(t, &hits1, http.StatusServiceUnavailable, string(api.Envelope(api.CodeDraining, "server shutting down")))
 	ts2 := healthzServer(t, &hits2, 200, `{"from":"2"}`)
 	w1 := addrOf(ts1)
 	d := NewDispatcher([]string{w1, addrOf(ts2)}, fastOpts())

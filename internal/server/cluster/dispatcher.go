@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"repro/internal/api"
 )
 
 // Options tunes a Dispatcher. The zero value gets sensible production
@@ -156,15 +158,26 @@ func (d *Dispatcher) Health() *Health { return d.health }
 // response (a full open-loop snapshot) is well under a megabyte.
 const maxForwardBody = 8 << 20
 
-// retryable reports whether a worker's HTTP status should move the
-// request to the next ring successor: 429 (queue full) and 503
-// (draining) mean "this worker can't take it right now", and 502 means
-// something between us and it broke. Everything else — including 4xx
-// validation errors and the worker's own 504 — is a real answer the
-// client should see, identical on every worker by determinism.
-func retryable(status int) bool {
+// retryable reports whether a worker's answer should move the request
+// to the next ring successor. The decision keys on the error envelope's
+// machine-readable code (api.Retryable: queue_full and draining mean
+// "this worker can't take it right now"), never on message text.
+// Everything else the worker said — bad_spec, its own deadline, an
+// internal failure — is a real answer the client should see, identical
+// on every worker by determinism.
+//
+// Two cases can't carry a worker envelope and fall back to status: a
+// 502 is a proxy or transport layer breaking between us and the worker
+// (netemud itself never emits one), and an unparseable error body from
+// a non-netemud peer degrades to the historical status taxonomy.
+func retryable(status int, body []byte) bool {
+	if status == http.StatusBadGateway {
+		return true
+	}
+	if code, _, ok := api.ParseError(body); ok {
+		return api.Retryable(code)
+	}
 	return status == http.StatusTooManyRequests ||
-		status == http.StatusBadGateway ||
 		status == http.StatusServiceUnavailable
 }
 
@@ -210,7 +223,7 @@ func (d *Dispatcher) Forward(ctx context.Context, key, endpoint string, spec []b
 			res.Failovers++
 			continue
 		}
-		if retryable(status) {
+		if retryable(status, body) {
 			d.health.RecordFailure(w)
 			res.Failovers++
 			continue

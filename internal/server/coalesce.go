@@ -17,10 +17,11 @@ import "sync"
 // are written exactly once, before done is closed; readers must wait on
 // done first.
 type call struct {
-	done   chan struct{}
-	body   []byte // the response bytes every waiter shares
-	status int    // HTTP status to serve them with
-	errMsg string // non-empty when status is an error
+	done    chan struct{}
+	body    []byte // the response bytes every waiter shares
+	status  int    // HTTP status to serve them with
+	errCode string // api.Code* when status is an error
+	errMsg  string // non-empty when status is an error
 }
 
 type coalescer struct {
@@ -49,9 +50,10 @@ func (c *coalescer) join(key string) (cl *call, leader bool) {
 // finish publishes the outcome and retires the key so later requests go
 // to the memo cache (or start a fresh computation) instead of a
 // completed call.
-func (c *coalescer) finish(key string, cl *call, body []byte, status int, errMsg string) {
+func (c *coalescer) finish(key string, cl *call, body []byte, status int, errCode, errMsg string) {
 	cl.body = body
 	cl.status = status
+	cl.errCode = errCode
 	cl.errMsg = errMsg
 	c.mu.Lock()
 	delete(c.calls, key)

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/runspec"
@@ -20,16 +21,14 @@ import (
 // so a megabyte is generous.
 const maxBodyBytes = 1 << 20
 
-// errorBody is the uniform error shape: {"error": "..."}.
-type errorBody struct {
-	Error string `json:"error"`
-}
-
-func writeError(w http.ResponseWriter, status int, msg string) {
+// writeError emits the unified error envelope (internal/api):
+// {"error":{"code":"…","message":"…"}}. The code is the stable
+// machine-readable half of the contract; keep it one of the api.Code*
+// constants.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	b, _ := json.Marshal(errorBody{Error: msg})
-	w.Write(append(b, '\n'))
+	w.Write(api.Envelope(code, msg))
 }
 
 func writeBody(w http.ResponseWriter, body []byte) {
@@ -69,7 +68,7 @@ func (s *Server) recoverPanics(next http.Handler) http.Handler {
 		defer func() {
 			if v := recover(); v != nil {
 				s.metrics.panics.Add(1)
-				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", v))
+				writeError(w, http.StatusInternalServerError, api.CodeInternal, fmt.Sprintf("internal error: %v", v))
 			}
 		}()
 		next.ServeHTTP(w, r)
@@ -152,29 +151,29 @@ func (s *Server) handleEmulate(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request, defaultKind runspec.Kind, kindOK func(runspec.Kind) error) {
 	if s.isDraining() {
 		s.metrics.shed503.Add(1)
-		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		writeError(w, http.StatusServiceUnavailable, api.CodeDraining, "server shutting down")
 		return
 	}
 	var spec runspec.Spec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, "malformed request body: "+err.Error())
+		writeError(w, http.StatusBadRequest, api.CodeBadSpec, "malformed request body: "+err.Error())
 		return
 	}
 	if spec.Kind == "" {
 		spec.Kind = defaultKind
 	}
 	if err := kindOK(spec.Kind); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, http.StatusBadRequest, api.CodeBadSpec, err.Error())
 		return
 	}
 	if err := spec.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, http.StatusBadRequest, api.CodeBadSpec, err.Error())
 		return
 	}
 	if spec.Kind != runspec.KindEmulate && spec.Machine == nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("runspec: kind %s needs a machine spec", spec.Kind))
+		writeError(w, http.StatusBadRequest, api.CodeBadSpec, fmt.Sprintf("runspec: kind %s needs a machine spec", spec.Kind))
 		return
 	}
 
@@ -194,8 +193,11 @@ func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request, defaultKind 
 		s.jobs.Add(1)
 		go func() {
 			defer s.jobs.Done()
-			body, status, errMsg := s.compute(spec, key, key, deadline)
-			s.coalescer.finish(key, cl, body, status, errMsg)
+			body, status, errCode, errMsg := s.compute(spec, key, key, deadline)
+			if status == http.StatusOK {
+				s.recordResult(spec, key, body)
+			}
+			s.coalescer.finish(key, cl, body, status, errCode, errMsg)
 		}()
 	} else {
 		s.metrics.coalesced.Add(1)
@@ -206,11 +208,11 @@ func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request, defaultKind 
 		if cl.status == http.StatusOK {
 			writeBody(w, cl.body)
 		} else {
-			writeError(w, cl.status, cl.errMsg)
+			writeError(w, cl.status, cl.errCode, cl.errMsg)
 		}
 	case <-ctx.Done():
 		s.metrics.timeout.Add(1)
-		writeError(w, http.StatusGatewayTimeout, "deadline expired before the result was ready")
+		writeError(w, http.StatusGatewayTimeout, api.CodeDeadline, "deadline expired before the result was ready")
 	}
 }
 
@@ -236,11 +238,22 @@ func responseDiskKey(canonical string) string {
 // requests; sweeps pass the machine key as ringKey so every point of a
 // sweep lands on the worker whose artifact cache is hot for that
 // machine.
-func (s *Server) compute(spec runspec.Spec, key, ringKey string, deadline time.Time) (body []byte, status int, errMsg string) {
+type priority bool
+
+const (
+	normalPriority priority = false
+	lowPriority    priority = true // scheduler points: free slots only
+)
+
+func (s *Server) compute(spec runspec.Spec, key, ringKey string, deadline time.Time) (body []byte, status int, errCode, errMsg string) {
+	return s.computeAt(spec, key, ringKey, deadline, normalPriority)
+}
+
+func (s *Server) computeAt(spec runspec.Spec, key, ringKey string, deadline time.Time, prio priority) (body []byte, status int, errCode, errMsg string) {
 	defer func() {
 		if v := recover(); v != nil {
 			s.metrics.panics.Add(1)
-			body, status, errMsg = nil, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", v)
+			body, status, errCode, errMsg = nil, http.StatusInternalServerError, api.CodeInternal, fmt.Sprintf("internal error: %v", v)
 		}
 	}()
 
@@ -257,7 +270,7 @@ func (s *Server) compute(spec runspec.Spec, key, ringKey string, deadline time.T
 				buf.WriteByte('\n')
 				body = buf.Bytes()
 				s.memoStore(key, body)
-				return body, http.StatusOK, ""
+				return body, http.StatusOK, "", ""
 			}
 		}
 		s.metrics.diskMiss.Add(1)
@@ -274,25 +287,29 @@ func (s *Server) compute(spec runspec.Spec, key, ringKey string, deadline time.T
 	// a request nobody is waiting for.
 	if s.cfg.Dispatch != nil {
 		fwdCtx, cancel := context.WithDeadline(s.execCtx, deadline)
-		body, status, errMsg, ok := s.forward(fwdCtx, spec, key, ringKey)
+		body, status, errCode, errMsg, ok := s.forward(fwdCtx, spec, key, ringKey)
 		expired := fwdCtx.Err() != nil
 		cancel()
 		if ok {
-			return body, status, errMsg
+			return body, status, errCode, errMsg
 		}
 		if expired {
-			return nil, http.StatusGatewayTimeout, "deadline expired before the result was ready"
+			return nil, http.StatusGatewayTimeout, api.CodeDeadline, "deadline expired before the result was ready"
 		}
 		s.metrics.fallbackLocal.Add(1)
 	}
 
-	if err := s.admission.acquire(s.execCtx); err != nil {
+	acquire := s.admission.acquire
+	if prio == lowPriority {
+		acquire = s.admission.acquireLow
+	}
+	if err := acquire(s.execCtx); err != nil {
 		if errors.Is(err, errQueueFull) {
 			s.metrics.shed429.Add(1)
-			return nil, http.StatusTooManyRequests, "server overloaded: admission queue full"
+			return nil, http.StatusTooManyRequests, api.CodeQueueFull, "server overloaded: admission queue full"
 		}
 		s.metrics.shed503.Add(1)
-		return nil, http.StatusServiceUnavailable, "server shutting down"
+		return nil, http.StatusServiceUnavailable, api.CodeDraining, "server shutting down"
 	}
 	defer s.admission.release()
 
@@ -302,18 +319,18 @@ func (s *Server) compute(spec runspec.Spec, key, ringKey string, deadline time.T
 	}
 	res, err := runspec.ExecuteCached(s.cfg.Artifacts, spec)
 	if err != nil {
-		return nil, http.StatusBadRequest, err.Error()
+		return nil, http.StatusBadRequest, api.CodeBadSpec, err.Error()
 	}
 	buf, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
-		return nil, http.StatusInternalServerError, "encoding result: " + err.Error()
+		return nil, http.StatusInternalServerError, api.CodeInternal, "encoding result: " + err.Error()
 	}
 	body = append(buf, '\n')
 	s.memoStore(key, body)
 	if s.cfg.Cache != nil {
 		s.cfg.Cache.Store(responseDiskKey(key), json.RawMessage(body))
 	}
-	return body, http.StatusOK, ""
+	return body, http.StatusOK, "", ""
 }
 
 // ValidateWorkerBody is the strict forward validator a coordinator
@@ -344,37 +361,37 @@ func ValidateWorkerBody(status int, body []byte) error {
 // contract. An invalid 200 body (truncated mid-flight, corrupted, wrong
 // shape) marks the worker dead and degrades to ok=false instead of
 // poisoning the caches. A worker's non-retryable error is replayed
-// through writeError with the worker's own message, so the client sees
-// the same body a single-node server would have sent.
-func (s *Server) forward(ctx context.Context, spec runspec.Spec, key, ringKey string) (body []byte, status int, errMsg string, ok bool) {
+// through writeError with the worker's own code and message, so the
+// client sees the same body a single-node server would have sent; a
+// peer that answered without an envelope gets the status-derived code.
+func (s *Server) forward(ctx context.Context, spec runspec.Spec, key, ringKey string) (body []byte, status int, errCode, errMsg string, ok bool) {
 	wire, err := json.Marshal(spec)
 	if err != nil {
-		return nil, 0, "", false
+		return nil, 0, "", "", false
 	}
 	res, fok := s.cfg.Dispatch.Forward(ctx, ringKey, spec.Kind.Endpoint(), wire)
 	s.metrics.failovers.Add(int64(res.Failovers))
 	if !fok {
-		return nil, 0, "", false
+		return nil, 0, "", "", false
 	}
 	if res.Status == http.StatusOK {
 		if verr := ValidateWorkerBody(res.Status, res.Body); verr != nil {
 			s.cfg.Dispatch.Health().MarkDead(res.Worker)
 			s.cfg.Dispatch.Health().RecordFailure(res.Worker)
-			return nil, 0, "", false
+			return nil, 0, "", "", false
 		}
 		s.metrics.forwarded.Add(1)
 		s.memoStore(key, res.Body)
 		if s.cfg.Cache != nil {
 			s.cfg.Cache.Store(responseDiskKey(key), json.RawMessage(res.Body))
 		}
-		return res.Body, http.StatusOK, "", true
+		return res.Body, http.StatusOK, "", "", true
 	}
 	s.metrics.forwarded.Add(1)
-	var e errorBody
-	if json.Unmarshal(res.Body, &e) == nil && e.Error != "" {
-		return nil, res.Status, e.Error, true
+	if code, msg, eok := api.ParseError(res.Body); eok {
+		return nil, res.Status, code, msg, true
 	}
-	return nil, res.Status, strings.TrimSpace(string(res.Body)), true
+	return nil, res.Status, api.CodeForStatus(res.Status), strings.TrimSpace(string(res.Body)), true
 }
 
 // handleTables serves the paper's reproduced tables as plain text:
@@ -384,12 +401,12 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	j, err := queryInt(q.Get("j"), 2)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad j: "+err.Error())
+		writeError(w, http.StatusBadRequest, api.CodeBadSpec, "bad j: "+err.Error())
 		return
 	}
 	k, err := queryInt(q.Get("k"), 2)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad k: "+err.Error())
+		writeError(w, http.StatusBadRequest, api.CodeBadSpec, "bad k: "+err.Error())
 		return
 	}
 	// Render into a buffer first so a failed render can still serve a
@@ -405,11 +422,11 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 	case "4":
 		err = core.WriteTable4(&buf, k)
 	default:
-		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown table %q (want 1, 2, 3, or 4)", id))
+		writeError(w, http.StatusNotFound, api.CodeNotFound, fmt.Sprintf("unknown table %q (want 1, 2, 3, or 4)", id))
 		return
 	}
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "rendering table: "+err.Error())
+		writeError(w, http.StatusInternalServerError, api.CodeInternal, "rendering table: "+err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")

@@ -30,6 +30,12 @@ type metrics struct {
 	sweeps      atomic.Int64 // POST /v1/sweep requests accepted
 	sweepPoints atomic.Int64 // sweep points streamed successfully
 
+	storeAppends  atomic.Int64 // 200s durably appended to the result store
+	storeErrors   atomic.Int64 // store appends that failed (serving unaffected)
+	resultsServed atomic.Int64 // 200s from the /v1/results and /v1/crossover read path
+	schedPoints   atomic.Int64 // scheduled sweep points that answered ok
+	schedErrors   atomic.Int64 // scheduled sweep points that failed
+
 	// Coordinator-only counters; surfaced under the "cluster" key of the
 	// snapshot when a dispatcher is configured.
 	forwarded     atomic.Int64 // computations answered by a worker
@@ -83,8 +89,24 @@ type metricsSnapshot struct {
 	Panics        int64                      `json:"panics"`
 	Sweeps        int64                      `json:"sweeps"`
 	SweepPoints   int64                      `json:"sweep_points"`
+	ResultsServed int64                      `json:"results_served"`
+	SchedPoints   int64                      `json:"scheduled_points"`
+	SchedErrors   int64                      `json:"scheduled_errors"`
+	Store         *storeReport               `json:"store,omitempty"`
 	Cluster       *clusterReport             `json:"cluster,omitempty"`
 	Endpoints     map[string]endpointReport  `json:"endpoints"`
+}
+
+// storeReport is the result store's conservation view: every served
+// 200 either appended a record, deduplicated against an identical one,
+// superseded a stale one, or errored — appends + dup_skips from the
+// store itself must account for the server's store_appends counter.
+type storeReport struct {
+	Records      int   `json:"records"`
+	Appends      int64 `json:"appends"`
+	DupSkips     int64 `json:"dup_skips"`
+	Superseded   int64 `json:"superseded"`
+	AppendErrors int64 `json:"append_errors"`
 }
 
 // clusterReport is the coordinator's view of its pool: sizing, liveness,
@@ -127,6 +149,9 @@ func (m *metrics) snapshot() metricsSnapshot {
 		Panics:        m.panics.Load(),
 		Sweeps:        m.sweeps.Load(),
 		SweepPoints:   m.sweepPoints.Load(),
+		ResultsServed: m.resultsServed.Load(),
+		SchedPoints:   m.schedPoints.Load(),
+		SchedErrors:   m.schedErrors.Load(),
 		Endpoints:     make(map[string]endpointReport),
 	}
 	m.mu.Lock()

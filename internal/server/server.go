@@ -25,7 +25,9 @@ import (
 
 	"repro/internal/experiment"
 	"repro/internal/runspec"
+	"repro/internal/schedule"
 	"repro/internal/server/cluster"
+	"repro/internal/store"
 )
 
 // Config carries netemud's tuning knobs. The zero value is usable:
@@ -60,6 +62,21 @@ type Config struct {
 	// so warm sweep points (and repeated measurements of one machine)
 	// skip the machine and engine builds entirely.
 	Artifacts *runspec.ArtifactCache
+	// Store, when non-nil, durably records every 200 the spec endpoints
+	// serve (append-only, content-keyed; see internal/store) and enables
+	// the GET /v1/results, /v1/results/{key}, and /v1/crossover read
+	// API. On a coordinator, forwarded results are recorded after
+	// ValidateWorkerBody accepts them.
+	Store *store.Store
+	// SweepHub, when non-nil, is where the background sweep scheduler
+	// publishes per-point progress; GET /v1/sweeps/stream serves it over
+	// SSE. The caller owns the sweeper's lifecycle (see
+	// schedule.Sweeper); the server only streams the hub.
+	SweepHub *schedule.Hub
+	// Role names this deployment's place in the topology for the
+	// discovery endpoint: "single" (default), "coordinator", or
+	// "worker".
+	Role string
 }
 
 func (c Config) withDefaults() Config {
@@ -74,6 +91,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Shards < 0 {
 		c.Shards = 0
+	}
+	if c.Role == "" {
+		c.Role = "single"
 	}
 	return c
 }
@@ -128,6 +148,13 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
 	mux.HandleFunc("POST /v1/emulate", s.instrument("/v1/emulate", s.handleEmulate))
 	mux.HandleFunc("GET /v1/tables/{id}", s.instrument("/v1/tables", s.handleTables))
+	mux.HandleFunc("GET /v1/results", s.instrument("/v1/results", s.handleResults))
+	mux.HandleFunc("GET /v1/results/{key}", s.instrument("/v1/results", s.handleResultByKey))
+	mux.HandleFunc("GET /v1/crossover", s.instrument("/v1/crossover", s.handleCrossover))
+	mux.HandleFunc("GET /v1/meta", s.instrument("/v1/meta", s.handleMeta))
+	// The SSE stream is deliberately uninstrumented: a subscriber parked
+	// for minutes would swamp the latency histograms with wall time.
+	mux.HandleFunc("GET /v1/sweeps/stream", s.handleSweepsStream)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("POST /drainz", s.handleDrainz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -146,6 +173,16 @@ func (s *Server) Handler() http.Handler { return s.recoverPanics(s.mux) }
 // fallback counters the failover tests and dashboards read.
 func (s *Server) Metrics() metricsSnapshot {
 	snap := s.metrics.snapshot()
+	if st := s.cfg.Store; st != nil {
+		appends, dups, superseded := st.Counts()
+		snap.Store = &storeReport{
+			Records:      st.Len(),
+			Appends:      appends,
+			DupSkips:     dups,
+			Superseded:   superseded,
+			AppendErrors: s.metrics.storeErrors.Load(),
+		}
+	}
 	if d := s.cfg.Dispatch; d != nil {
 		snap.Cluster = &clusterReport{
 			Workers:        len(d.Ring().Workers()),

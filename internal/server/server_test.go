@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/experiment"
 	"repro/internal/runspec"
 )
@@ -126,12 +127,15 @@ func TestMalformedRequestsAre400(t *testing.T) {
 			if code != http.StatusBadRequest {
 				t.Fatalf("status %d, want 400; body %s", code, body)
 			}
-			var e errorBody
+			var e api.ErrorBody
 			if err := json.Unmarshal(body, &e); err != nil {
 				t.Fatalf("error body is not JSON: %s", body)
 			}
-			if !strings.Contains(e.Error, tc.want) {
-				t.Fatalf("error %q does not mention %q", e.Error, tc.want)
+			if e.Error.Code != api.CodeBadSpec {
+				t.Fatalf("error code %q, want %q", e.Error.Code, api.CodeBadSpec)
+			}
+			if !strings.Contains(e.Error.Message, tc.want) {
+				t.Fatalf("error %q does not mention %q", e.Error.Message, tc.want)
 			}
 		})
 	}
@@ -281,9 +285,12 @@ func TestPanicRecoveryMiddleware(t *testing.T) {
 	if rec.Code != http.StatusInternalServerError {
 		t.Fatalf("status %d, want 500", rec.Code)
 	}
-	var e errorBody
-	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || !strings.Contains(e.Error, "synthetic handler bug") {
+	var e api.ErrorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || !strings.Contains(e.Error.Message, "synthetic handler bug") {
 		t.Fatalf("panic not surfaced: %s", rec.Body.String())
+	}
+	if e.Error.Code != api.CodeInternal {
+		t.Fatalf("error code %q, want %q", e.Error.Code, api.CodeInternal)
 	}
 	if m := s.Metrics(); m.Panics != 1 {
 		t.Fatalf("panics = %d, want 1", m.Panics)

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/runspec"
 )
 
@@ -30,24 +31,24 @@ const maxSweepBodyBytes = 4 << 20
 //
 // Errors: a bad sweep (malformed body, invalid point) is a plain 4xx
 // before any point runs. Once streaming has begun the status line is
-// gone, so a failing point appends its {"error": ...} document where
+// gone, so a failing point appends its {"error": {...}} envelope where
 // its result would have been and ends the stream.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if s.isDraining() {
 		s.metrics.shed503.Add(1)
-		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		writeError(w, http.StatusServiceUnavailable, api.CodeDraining, "server shutting down")
 		return
 	}
 	var sw runspec.SweepSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSweepBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&sw); err != nil {
-		writeError(w, http.StatusBadRequest, "malformed request body: "+err.Error())
+		writeError(w, http.StatusBadRequest, api.CodeBadSpec, "malformed request body: "+err.Error())
 		return
 	}
 	specs, err := sw.Specs()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, http.StatusBadRequest, api.CodeBadSpec, err.Error())
 		return
 	}
 	s.metrics.sweeps.Add(1)
@@ -61,16 +62,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	streamed := false
 	for _, spec := range specs {
-		body, status, errMsg := s.sweepPoint(ctx, spec, deadline)
+		body, status, errCode, errMsg := s.sweepPoint(ctx, spec, deadline)
 		if status != http.StatusOK {
 			if !streamed {
 				// Nothing written yet: the sweep can still carry an
 				// honest status line.
-				writeError(w, status, errMsg)
+				writeError(w, status, errCode, errMsg)
 				return
 			}
-			b, _ := json.Marshal(errorBody{Error: errMsg})
-			w.Write(append(b, '\n'))
+			w.Write(api.Envelope(errCode, errMsg))
 			return
 		}
 		if !streamed {
@@ -88,11 +88,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 // sweepPoint resolves one point of a sweep: memo hit, or coalesced
 // computation keyed by the point's canonical spec but ring-dispatched
 // by its machine key.
-func (s *Server) sweepPoint(ctx context.Context, spec runspec.Spec, deadline time.Time) (body []byte, status int, errMsg string) {
+func (s *Server) sweepPoint(ctx context.Context, spec runspec.Spec, deadline time.Time) (body []byte, status int, errCode, errMsg string) {
 	key := spec.Canonical()
 	if b, ok := s.memoLoad(key); ok {
 		s.metrics.memoHits.Add(1)
-		return b, http.StatusOK, ""
+		return b, http.StatusOK, "", ""
 	}
 	ringKey := runspec.MachineKey(*spec.Machine)
 	cl, leader := s.coalescer.join(key)
@@ -100,17 +100,20 @@ func (s *Server) sweepPoint(ctx context.Context, spec runspec.Spec, deadline tim
 		s.jobs.Add(1)
 		go func() {
 			defer s.jobs.Done()
-			b, st, msg := s.compute(spec, key, ringKey, deadline)
-			s.coalescer.finish(key, cl, b, st, msg)
+			b, st, code, msg := s.compute(spec, key, ringKey, deadline)
+			if st == http.StatusOK {
+				s.recordResult(spec, key, b)
+			}
+			s.coalescer.finish(key, cl, b, st, code, msg)
 		}()
 	} else {
 		s.metrics.coalesced.Add(1)
 	}
 	select {
 	case <-cl.done:
-		return cl.body, cl.status, cl.errMsg
+		return cl.body, cl.status, cl.errCode, cl.errMsg
 	case <-ctx.Done():
 		s.metrics.timeout.Add(1)
-		return nil, http.StatusGatewayTimeout, "deadline expired before the result was ready"
+		return nil, http.StatusGatewayTimeout, api.CodeDeadline, "deadline expired before the result was ready"
 	}
 }

@@ -1,10 +1,16 @@
 #!/bin/sh
 # Boot a local netemud cluster (coordinator + 2 workers), replay a
 # seeded netemuload plan against it, and record latency/throughput as
-# BENCH_netemud.json at the repo root. With DIFF_SINGLE=1 the same plan
-# also replays against a single-node netemud and the saved response
-# bodies are diffed file-by-file — the cluster-parity contract: a
-# coordinator's responses must be byte-identical to a single node's.
+# BENCH_netemud.json at the repo root. The coordinator runs with a
+# result store and the plan mixes in GET /v1/results and GET /v1/meta
+# reads, so the report covers the store's read path too. With
+# DIFF_SINGLE=1 the same plan also replays against a single-node
+# netemud and the saved response bodies are diffed file-by-file — the
+# cluster-parity contract: a coordinator's responses must be
+# byte-identical to a single node's. Read and meta responses are
+# excluded from that diff (read bodies race write timing; /v1/meta
+# reports the deployment role), which is why netemuload saves them
+# under distinct read-*/meta-* names.
 #
 # Usage:  scripts/bench_netemud.sh [output.json]
 #
@@ -51,25 +57,25 @@ wait_healthy "$w1"
 wait_healthy "$w2"
 "$bin/netemud" -addr "127.0.0.1:$coord" \
     -coordinator -workers "127.0.0.1:$w1,127.0.0.1:$w2" \
-    -health-interval 500ms &
+    -health-interval 500ms -store "$bin/store-cluster" &
 pids="$pids $!"
 wait_healthy "$coord"
 
 resp_cluster="$(mktemp -d)"
 "$bin/netemuload" -target "http://127.0.0.1:$coord" \
-    -requests "$requests" -concurrency "$concurrency" -seed "$seed" \
+    -requests "$requests" -concurrency "$concurrency" -seed "$seed" -reads \
     -responses "$resp_cluster" -fail-on-error -o "$out"
 echo "wrote $out"
 
 if [ "${DIFF_SINGLE:-0}" = "1" ]; then
-    "$bin/netemud" -addr "127.0.0.1:$single" &
+    "$bin/netemud" -addr "127.0.0.1:$single" -store "$bin/store-single" &
     pids="$pids $!"
     wait_healthy "$single"
     resp_single="$(mktemp -d)"
     "$bin/netemuload" -target "http://127.0.0.1:$single" \
-        -requests "$requests" -concurrency "$concurrency" -seed "$seed" \
+        -requests "$requests" -concurrency "$concurrency" -seed "$seed" -reads \
         -responses "$resp_single" -fail-on-error -o /dev/null
-    diff -r "$resp_cluster" "$resp_single"
+    diff -r -x 'read-*' -x 'meta-*' "$resp_cluster" "$resp_single"
     echo "cluster responses byte-identical to single-node ($requests requests)"
     rm -rf "$resp_single"
 fi
